@@ -1,0 +1,28 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "util/rng.h"
+
+namespace monge::bench {
+
+inline mpc::MpcConfig scaled_cluster(std::int64_t n, double delta,
+                                     bool strict = false) {
+  auto cfg = mpc::MpcConfig::fully_scalable(n, delta, 24.0, strict);
+  cfg.threads = 0;
+  return cfg;
+}
+
+inline std::vector<std::int64_t> random_sequence(std::int64_t n,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> seq(static_cast<std::size_t>(n));
+  for (auto& x : seq) x = rng.next_in(0, 1LL << 40);
+  return seq;
+}
+
+}  // namespace monge::bench

@@ -1,0 +1,52 @@
+// Figure C (Theorem 1.3 / Corollary 1.3.1): LIS rounds grow like c·log n;
+// LCS costs the same rounds as LIS over its match sequence.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lcs/mpc_lcs.h"
+#include "lis/mpc_lis.h"
+#include "lis/sequential.h"
+#include "util/table.h"
+
+using namespace monge;
+
+int main() {
+  std::printf("LIS rounds vs n (measured), delta = 0.5, Theorem 1.3.\n\n");
+  Table t({"n", "merge levels", "rounds", "rounds/level", "LIS ok"});
+  for (std::int64_t n : {1 << 9, 1 << 11, 1 << 13}) {
+    const auto seq = bench::random_sequence(n, 7 + static_cast<std::uint64_t>(n));
+    mpc::Cluster c(bench::scaled_cluster(n, 0.5));
+    lis::MpcLisOptions opt;
+    opt.multiply.split_h = std::max<std::int64_t>(4, ipow_frac(n, 0.25));
+    opt.multiply.tree_fanout = opt.multiply.split_h;
+    const auto res = lis::mpc_lis(c, seq, opt);
+    const bool ok = res.lis == lis::lis_length(seq);
+    t.add_row({std::to_string(n), std::to_string(res.merge_levels),
+               std::to_string(res.rounds),
+               Table::num(static_cast<double>(res.rounds) /
+                              static_cast<double>(std::max<std::int64_t>(
+                                  1, res.merge_levels)),
+                          1),
+               ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf(
+      "LCS via Hunt–Szymanski (Cor 1.3.1): rounds equal LIS rounds on the\n"
+      "match sequence; total space is the match count (the n^{1+delta}\n"
+      "machine regime).\n\n");
+  Table t2({"|S|=|T|", "sigma", "matches", "rounds", "LCS"});
+  for (std::int64_t n : {128, 256}) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<std::int64_t> s(static_cast<std::size_t>(n)),
+        u(static_cast<std::size_t>(n));
+    for (auto& x : s) x = rng.next_in(0, 8);
+    for (auto& x : u) x = rng.next_in(0, 8);
+    mpc::Cluster c(bench::scaled_cluster(n * n / 8, 0.5));
+    const auto res = lcs::mpc_lcs(c, s, u);
+    t2.add_row({std::to_string(n), "8", std::to_string(res.matches),
+                std::to_string(res.rounds), std::to_string(res.lcs)});
+  }
+  std::printf("%s\n", t2.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// google-benchmark: wall-clock of the applications — sequential patience
+// sorting, the sequential kernel, the Hunt–Szymanski LCS, and the whole
+// simulated MPC LIS (which pays simulation overhead; the model's metric is
+// rounds, reported by the fig_* binaries).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "lcs/hunt_szymanski.h"
+#include "lis/kernel.h"
+#include "lis/mpc_lis.h"
+#include "lis/sequential.h"
+
+using namespace monge;
+
+namespace {
+
+void BM_PatienceLis(benchmark::State& state) {
+  const auto seq = bench::random_sequence(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lis::lis_length(seq));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PatienceLis)->Range(1 << 10, 1 << 18)->Complexity();
+
+void BM_LisKernelSeq(benchmark::State& state) {
+  Rng rng(2);
+  const auto p = rng.permutation(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lis::lis_kernel(p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LisKernelSeq)->Range(1 << 8, 1 << 13)->Complexity();
+
+void BM_MpcLisSimulated(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto seq = bench::random_sequence(n, 3);
+  for (auto _ : state) {
+    mpc::Cluster cluster(bench::scaled_cluster(n, 0.5));
+    benchmark::DoNotOptimize(lis::mpc_lis(cluster, seq));
+  }
+}
+BENCHMARK(BM_MpcLisSimulated)->Range(1 << 8, 1 << 11);
+
+void BM_LcsHuntSzymanski(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(4);
+  std::vector<std::int64_t> s(static_cast<std::size_t>(n)),
+      t(static_cast<std::size_t>(n));
+  for (auto& x : s) x = rng.next_in(0, 64);
+  for (auto& x : t) x = rng.next_in(0, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcs::lcs_hs(s, t));
+  }
+}
+BENCHMARK(BM_LcsHuntSzymanski)->Range(1 << 8, 1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

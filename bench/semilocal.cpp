@@ -1,0 +1,49 @@
+// Corollaries 1.3.2/1.3.3: the semi-local LIS kernel answers every window
+// query; measured here: kernel build rounds + batched query throughput.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lis/kernel.h"
+#include "lis/mpc_lis.h"
+#include "lis/sequential.h"
+#include "util/table.h"
+
+using namespace monge;
+
+int main() {
+  std::printf(
+      "Semi-local LIS (Cor 1.3.2): one kernel, all windows. Checks a\n"
+      "sample of windows against patience sorting.\n\n");
+  Table t({"n", "kernel rounds", "kernel points", "windows", "query us/win",
+           "spot-check"});
+  for (std::int64_t n : {1 << 10, 1 << 12}) {
+    const auto seq = bench::random_sequence(n, 3 * static_cast<std::uint64_t>(n));
+    mpc::Cluster c(bench::scaled_cluster(n, 0.5));
+    const auto res = lis::mpc_lis(c, seq);
+
+    Rng rng(9);
+    std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+    for (int q = 0; q < 2000; ++q) {
+      const std::int64_t l = rng.next_in(0, n - 1);
+      windows.push_back({l, rng.next_in(l, n - 1)});
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto ans = lis::kernel_window_lis_batch(res.kernel, windows);
+    const auto t1 = std::chrono::steady_clock::now();
+    bool ok = true;
+    for (std::size_t q = 0; q < windows.size(); q += 97) {
+      ok &= ans[q] == lis::lis_window(seq, windows[q].first,
+                                      windows[q].second);
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(windows.size());
+    t.add_row({std::to_string(n), std::to_string(res.rounds),
+               std::to_string(res.kernel.point_count()),
+               std::to_string(windows.size()), Table::num(us, 3),
+               ok ? "PASS" : "FAIL"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

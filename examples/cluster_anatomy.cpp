@@ -1,0 +1,68 @@
+// Scenario: inspecting the MPC cost model. Runs the [GSZ11] collectives and
+// one full Theorem 1.1 multiplication, printing the rounds, communication
+// and peak space the simulator measured — the numbers every claim in the
+// paper is stated in.
+#include <cstdio>
+
+#include "core/mpc_multiply.h"
+#include "mpc/collectives.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace monge;
+
+int main() {
+  const std::int64_t n = 1 << 12;
+  const double delta = 0.5;
+  auto cfg = mpc::MpcConfig::fully_scalable(n, delta);
+  std::printf(
+      "cluster: n = %lld, delta = %.1f  =>  m = %lld machines, s = %lld "
+      "words each\n\n",
+      static_cast<long long>(n), delta,
+      static_cast<long long>(cfg.num_machines),
+      static_cast<long long>(cfg.space_words));
+
+  Table t({"operation", "rounds", "total comm (words)", "peak machine words"});
+  Rng rng(1);
+
+  {
+    mpc::Cluster c(cfg);
+    std::vector<std::int64_t> data(static_cast<std::size_t>(n));
+    for (auto& x : data) x = rng.next_in(0, 1 << 30);
+    auto dv = mpc::DistVector<std::int64_t>::from_host(c, data);
+    mpc::sample_sort(c, dv, [](std::int64_t x) { return x; });
+    t.add_row({"sort (Lemma 2.5)", std::to_string(c.rounds()),
+               std::to_string(c.stats().total_comm_words),
+               std::to_string(c.stats().max_machine_words)});
+  }
+  {
+    mpc::Cluster c(cfg);
+    auto p = mpc::DistVector<std::int32_t>::from_host(c, rng.permutation(n));
+    (void)mpc::inverse_permutation(c, p);
+    t.add_row({"inverse permutation (Lemma 2.3)", std::to_string(c.rounds()),
+               std::to_string(c.stats().total_comm_words),
+               std::to_string(c.stats().max_machine_words)});
+  }
+  {
+    mpc::Cluster c(cfg);
+    std::vector<std::int64_t> vals(static_cast<std::size_t>(n), 1);
+    auto dv = mpc::DistVector<std::int64_t>::from_host(c, vals);
+    (void)mpc::dv_exclusive_prefix(c, dv);
+    t.add_row({"prefix sums (Lemma 2.4)", std::to_string(c.rounds()),
+               std::to_string(c.stats().total_comm_words),
+               std::to_string(c.stats().max_machine_words)});
+  }
+  {
+    mpc::Cluster c(cfg);
+    const Perm a = Perm::random(n, rng);
+    const Perm b = Perm::random(n, rng);
+    core::MpcMultiplyReport rep;
+    (void)core::mpc_unit_monge_multiply(c, a, b, core::paper_profile(n, c),
+                                        &rep);
+    t.add_row({"unit-Monge multiply (Thm 1.1)", std::to_string(rep.rounds),
+               std::to_string(c.stats().total_comm_words),
+               std::to_string(rep.max_machine_words)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Theorem 1.2 on the cluster: subunit-Monge multiplication of
+// sub-permutation matrices via the §4.1 padding reduction to Theorem 1.1.
+//
+// The padding itself is the O(1)-round transformation of §4.1 (an inverse
+// permutation plus prefix sums, Lemmas 2.3/2.4); the prefix-sum collectives
+// are executed on the cluster so the round/traffic accounting is real,
+// while the element-wise index arithmetic is orchestrated by the driver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mpc_multiply.h"
+#include "monge/permutation.h"
+#include "mpc/cluster.h"
+
+namespace monge::core {
+
+/// PC = PA ⊡ PB for sub-permutations (batch variant; all pairs share
+/// rounds). Shapes: a_i is r_i×k_i, b_i is k_i×c_i.
+std::vector<Perm> mpc_subunit_multiply_batch(
+    mpc::Cluster& cluster, const std::vector<std::pair<Perm, Perm>>& pairs,
+    const MpcMultiplyOptions& options = {},
+    MpcMultiplyReport* report = nullptr);
+
+Perm mpc_subunit_multiply(mpc::Cluster& cluster, const Perm& a, const Perm& b,
+                          const MpcMultiplyOptions& options = {},
+                          MpcMultiplyReport* report = nullptr);
+
+}  // namespace monge::core

@@ -1,0 +1,56 @@
+#include "lcs/hunt_szymanski.h"
+
+#include <algorithm>
+#include <map>
+
+#include "lis/sequential.h"
+
+namespace monge::lcs {
+
+std::vector<std::int64_t> hs_match_sequence(std::span<const std::int64_t> s,
+                                            std::span<const std::int64_t> t) {
+  std::map<std::int64_t, std::vector<std::int64_t>> positions;  // value -> js
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    positions[t[j]].push_back(static_cast<std::int64_t>(j));
+  }
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto it = positions.find(s[i]);
+    if (it == positions.end()) continue;
+    for (auto rj = it->second.rbegin(); rj != it->second.rend(); ++rj) {
+      out.push_back(*rj);  // j descending within one i
+    }
+  }
+  return out;
+}
+
+std::int64_t lcs_hs(std::span<const std::int64_t> s,
+                    std::span<const std::int64_t> t) {
+  const auto seq = hs_match_sequence(s, t);
+  return lis::lis_length(seq);
+}
+
+std::int64_t lcs_dp(std::span<const std::int64_t> s,
+                    std::span<const std::int64_t> t) {
+  const auto ns = static_cast<std::int64_t>(s.size());
+  const auto nt = static_cast<std::int64_t>(t.size());
+  std::vector<std::int64_t> prev(static_cast<std::size_t>(nt) + 1, 0);
+  std::vector<std::int64_t> cur(static_cast<std::size_t>(nt) + 1, 0);
+  for (std::int64_t i = 1; i <= ns; ++i) {
+    for (std::int64_t j = 1; j <= nt; ++j) {
+      if (s[static_cast<std::size_t>(i - 1)] ==
+          t[static_cast<std::size_t>(j - 1)]) {
+        cur[static_cast<std::size_t>(j)] =
+            prev[static_cast<std::size_t>(j - 1)] + 1;
+      } else {
+        cur[static_cast<std::size_t>(j)] =
+            std::max(prev[static_cast<std::size_t>(j)],
+                     cur[static_cast<std::size_t>(j - 1)]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<std::size_t>(nt)];
+}
+
+}  // namespace monge::lcs

@@ -1,0 +1,27 @@
+// Corollary 1.3.1: LCS via the Hunt–Szymanski reduction to strict LIS.
+//
+// List all matching pairs (i, j) with s_i == t_j in order (i asc, j desc);
+// common subsequences of S and T correspond exactly to strictly increasing
+// subsequences of the j-sequence. Requires Θ̃(#matches) total space — the
+// paper's m = n^{1+δ} regime; for small alphabets #matches ≈ n²/σ.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace monge::lcs {
+
+/// All matching pairs' j values, ordered by (i asc, j desc).
+std::vector<std::int64_t> hs_match_sequence(std::span<const std::int64_t> s,
+                                            std::span<const std::int64_t> t);
+
+/// Sequential LCS via Hunt–Szymanski (patience on the match sequence).
+std::int64_t lcs_hs(std::span<const std::int64_t> s,
+                    std::span<const std::int64_t> t);
+
+/// O(|s|·|t|) DP oracle.
+std::int64_t lcs_dp(std::span<const std::int64_t> s,
+                    std::span<const std::int64_t> t);
+
+}  // namespace monge::lcs

@@ -1,0 +1,22 @@
+#include "lcs/mpc_lcs.h"
+
+#include "lcs/hunt_szymanski.h"
+
+namespace monge::lcs {
+
+MpcLcsResult mpc_lcs(mpc::Cluster& cluster, std::span<const std::int64_t> s,
+                     std::span<const std::int64_t> t,
+                     const lis::MpcLisOptions& options) {
+  MpcLcsResult out;
+  const std::int64_t start = cluster.rounds();
+  const auto seq = hs_match_sequence(s, t);
+  out.matches = static_cast<std::int64_t>(seq.size());
+  if (!seq.empty()) {
+    const auto lis = lis::mpc_lis(cluster, seq, options);
+    out.lcs = lis.lis;
+  }
+  out.rounds = cluster.rounds() - start;
+  return out;
+}
+
+}  // namespace monge::lcs

@@ -1,0 +1,26 @@
+// Corollary 1.3.1 on the cluster: MPC LCS = Hunt–Szymanski match pairs +
+// the Theorem 1.3 MPC LIS over the match sequence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lis/mpc_lis.h"
+#include "mpc/cluster.h"
+
+namespace monge::lcs {
+
+struct MpcLcsResult {
+  std::int64_t lcs = 0;
+  std::int64_t matches = 0;  // size of the HS match sequence (input to LIS)
+  std::int64_t rounds = 0;
+};
+
+/// LCS of two sequences. The match-pair generation is the standard HS
+/// product; the cluster must be provisioned for the match count (the
+/// paper's m = n^{1+δ} machines / Θ̃(n²) total space regime).
+MpcLcsResult mpc_lcs(mpc::Cluster& cluster, std::span<const std::int64_t> s,
+                     std::span<const std::int64_t> t,
+                     const lis::MpcLisOptions& options = {});
+
+}  // namespace monge::lcs

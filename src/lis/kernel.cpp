@@ -1,0 +1,111 @@
+#include "lis/kernel.h"
+
+#include <algorithm>
+
+#include "monge/subperm.h"
+#include "util/check.h"
+#include "util/fenwick.h"
+
+namespace monge::lis {
+
+namespace {
+
+Perm kernel_rec(const std::vector<std::int32_t>& p) {
+  const auto n = static_cast<std::int64_t>(p.size());
+  if (n == 0) return Perm(0, 0);
+  if (n == 1) return Perm(1, 1);  // empty kernel: LIS of one element is 1
+
+  const std::int64_t mid = n / 2;
+  std::vector<std::int32_t> lo_pos, hi_pos, p_lo, p_hi;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t v = p[static_cast<std::size_t>(i)];
+    if (v < mid) {
+      lo_pos.push_back(static_cast<std::int32_t>(i));
+      p_lo.push_back(v);
+    } else {
+      hi_pos.push_back(static_cast<std::int32_t>(i));
+      p_hi.push_back(static_cast<std::int32_t>(v - mid));
+    }
+  }
+  const Perm k_lo = kernel_rec(p_lo);
+  const Perm k_hi = kernel_rec(p_hi);
+
+  // Embed: A = K_lo at lo positions + identity at hi positions;
+  //        B = identity at lo positions + K_hi at hi positions.
+  Perm a(n, n), b(n, n);
+  for (const Point& pt : k_lo.points()) {
+    a.set(lo_pos[static_cast<std::size_t>(pt.row)],
+          lo_pos[static_cast<std::size_t>(pt.col)]);
+  }
+  for (std::int32_t pos : hi_pos) a.set(pos, pos);
+  for (std::int32_t pos : lo_pos) b.set(pos, pos);
+  for (const Point& pt : k_hi.points()) {
+    b.set(hi_pos[static_cast<std::size_t>(pt.row)],
+          hi_pos[static_cast<std::size_t>(pt.col)]);
+  }
+  return subunit_multiply(a, b);
+}
+
+}  // namespace
+
+Perm lis_kernel(std::span<const std::int32_t> perm) {
+  std::vector<std::int32_t> p(perm.begin(), perm.end());
+  // Validate it is a permutation of [0, n).
+  std::vector<bool> seen(p.size(), false);
+  for (std::int32_t v : p) {
+    MONGE_CHECK_MSG(v >= 0 && v < static_cast<std::int32_t>(p.size()) &&
+                        !seen[static_cast<std::size_t>(v)],
+                    "lis_kernel requires a permutation of [0, n)");
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return kernel_rec(p);
+}
+
+std::int64_t lis_from_kernel(const Perm& kernel) {
+  return kernel.rows() - kernel.point_count();
+}
+
+std::int64_t kernel_window_lis(const Perm& kernel, std::int64_t l,
+                               std::int64_t r) {
+  MONGE_CHECK(l >= 0 && r < kernel.rows());
+  if (l > r) return 0;
+  std::int64_t count = 0;
+  for (std::int64_t row = l; row < kernel.rows(); ++row) {
+    const std::int32_t c = kernel.col_of(row);
+    count += (c != kNone && c < r + 1);
+  }
+  return (r - l + 1) - count;
+}
+
+std::vector<std::int64_t> kernel_window_lis_batch(
+    const Perm& kernel,
+    std::span<const std::pair<std::int64_t, std::int64_t>> windows) {
+  // KΣ(l, r+1) counts points with row >= l and col <= r. Sweep rows from
+  // high to low, inserting points into a Fenwick over columns; answer each
+  // query when the sweep passes its l.
+  const std::int64_t n = kernel.rows();
+  std::vector<std::vector<std::size_t>> by_l(static_cast<std::size_t>(n) + 1);
+  for (std::size_t qi = 0; qi < windows.size(); ++qi) {
+    MONGE_CHECK(windows[qi].first >= 0 && windows[qi].second < n);
+    by_l[static_cast<std::size_t>(std::max<std::int64_t>(
+             windows[qi].first, 0))]
+        .push_back(qi);
+  }
+  std::vector<std::int64_t> out(windows.size(), 0);
+  Fenwick cols(n);
+  for (std::int64_t row = n - 1; row >= 0; --row) {
+    const std::int32_t c = kernel.col_of(row);
+    if (c != kNone) cols.add(c, 1);
+    for (std::size_t qi : by_l[static_cast<std::size_t>(row)]) {
+      const auto [l, r] = windows[qi];
+      out[qi] = (r - l + 1) - cols.prefix(r + 1);
+    }
+  }
+  // Degenerate l > r windows.
+  for (std::size_t qi = 0; qi < windows.size(); ++qi) {
+    if (windows[qi].first > windows[qi].second) out[qi] = 0;
+  }
+  return out;
+}
+
+}  // namespace monge::lis

@@ -1,0 +1,40 @@
+// The semi-local LIS kernel (§4.2 / Corollary 1.3.2).
+//
+// For a permutation p of [0, n), the kernel K is an n×n sub-permutation
+// with   LIS(p[l..r]) = (r − l + 1) − KΣ(l, r + 1),
+// where KΣ(i, j) = #{kernel points (r, c) : r >= i, c < j}.
+//
+// It is built by the standard value-split divide and conquer: split values
+// at the median into classes lo/hi, recurse on the (position-relabelled)
+// classes, embed both kernels into the union's position ranks, and combine
+// with one subunit-Monge product:
+//   K = (K_lo ⊕ id_hi) ⊡ (id_lo ⊕ K_hi).
+// This is the decomposition Theorem 1.3 parallelises: each merge level of
+// the MPC algorithm is one batched ⊡.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "monge/permutation.h"
+
+namespace monge::lis {
+
+/// Sequential kernel of a permutation (O(n log^2 n)).
+Perm lis_kernel(std::span<const std::int32_t> perm);
+
+/// LIS of the whole permutation from its kernel: n − #points.
+std::int64_t lis_from_kernel(const Perm& kernel);
+
+/// LIS(p[l..r]) from the kernel (O(n) scan).
+std::int64_t kernel_window_lis(const Perm& kernel, std::int64_t l,
+                               std::int64_t r);
+
+/// Offline batch of window queries in O((n + q) log n) via dominance
+/// counting (Fenwick sweep).
+std::vector<std::int64_t> kernel_window_lis_batch(
+    const Perm& kernel,
+    std::span<const std::pair<std::int64_t, std::int64_t>> windows);
+
+}  // namespace monge::lis

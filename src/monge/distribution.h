@@ -1,0 +1,63 @@
+// Explicit distribution matrices and the naive (min,+) product.
+//
+// These are the O(n^2)-space test oracles for everything else in the
+// library. Per §2.1, the distribution matrix of a (sub-)permutation P is
+//   PΣ(i,j) = Σ_{(r̂,ĉ) ∈ ⟨i:rows⟩×⟨0:j⟩} P(r̂,ĉ)
+//           = #{ points (r,c) : r >= i, c < j },  i ∈ [0,rows], j ∈ [0,cols].
+// The (sub)unit-Monge product PC = PA ⊡ PB is defined by
+//   PCΣ(i,k) = min_j ( PAΣ(i,j) + PBΣ(j,k) ).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monge/permutation.h"
+
+namespace monge {
+
+class DistMatrix {
+ public:
+  DistMatrix(std::int64_t rows, std::int64_t cols);
+
+  /// Builds PΣ from a (sub-)permutation in O(rows*cols).
+  static DistMatrix from(const Perm& p);
+
+  std::int64_t rows() const { return rows_; }  // matrix is (rows+1)x(cols+1)
+  std::int64_t cols() const { return cols_; }
+
+  std::int64_t at(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * (cols_ + 1) + j)];
+  }
+  std::int64_t& at(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * (cols_ + 1) + j)];
+  }
+
+  /// (min,+) product: this is (r,m), other is (m,c), result (r,c).
+  DistMatrix minplus(const DistMatrix& other) const;
+
+  /// Recovers the unique (sub-)permutation whose distribution matrix this is
+  /// (Lemmas 2.1/2.2 guarantee existence for products of distribution
+  /// matrices); throws if the matrix is not a valid distribution matrix.
+  Perm to_perm() const;
+
+  /// True iff M(i,j) + M(i+1,j+1) <= M(i,j+1) + M(i+1,j) for all i,j
+  /// (the Monge condition satisfied by distribution matrices).
+  bool is_monge() const;
+
+  friend bool operator==(const DistMatrix&, const DistMatrix&) = default;
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::vector<std::int64_t> data_;
+};
+
+/// Direct evaluation of PΣ(i,j) in O(points) without materialising the
+/// matrix; usable at any n.
+std::int64_t dist_at(const Perm& p, std::int64_t i, std::int64_t j);
+
+/// Oracle implementation of PA ⊡ PB via explicit distribution matrices.
+/// O(r*m*c) time and O(n^2) space — small inputs only.
+Perm multiply_naive(const Perm& a, const Perm& b);
+
+}  // namespace monge

@@ -1,0 +1,89 @@
+#include "monge/subperm.h"
+
+#include "monge/seaweed.h"
+#include "util/check.h"
+
+namespace monge {
+
+Perm subunit_multiply(const Perm& a, const Perm& b) {
+  MONGE_CHECK_MSG(a.cols() == b.rows(), "inner dimensions disagree: "
+                                            << a.cols() << " vs " << b.rows());
+  const std::int64_t n2 = a.cols();
+  Perm out(a.rows(), b.cols());
+  if (n2 == 0) return out;
+
+  // Step 1: compact. rows_a = surviving original rows of PA (M_A^{-1});
+  // cols_b = surviving original columns of PB.
+  std::vector<std::int32_t> rows_a;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    if (!a.row_empty(r)) rows_a.push_back(static_cast<std::int32_t>(r));
+  }
+  const std::vector<std::int32_t> b_col_to_row = b.col_to_row();
+  std::vector<std::int32_t> cols_b;
+  std::vector<std::int32_t> col_rank_b(static_cast<std::size_t>(b.cols()),
+                                       kNone);
+  for (std::int64_t c = 0; c < b.cols(); ++c) {
+    if (b_col_to_row[static_cast<std::size_t>(c)] != kNone) {
+      col_rank_b[static_cast<std::size_t>(c)] =
+          static_cast<std::int32_t>(cols_b.size());
+      cols_b.push_back(static_cast<std::int32_t>(c));
+    }
+  }
+  const auto n1 = static_cast<std::int64_t>(rows_a.size());
+  const auto n3 = static_cast<std::int64_t>(cols_b.size());
+  if (n1 == 0 || n3 == 0) return out;
+
+  // Step 2a: P'A (n2×n2). The top n2−n1 rows cover PA's empty columns in
+  // increasing order; the bottom n1 rows are the compacted PA.
+  std::vector<std::uint8_t> col_used_a(static_cast<std::size_t>(n2), 0);
+  for (std::int32_t r : rows_a) {
+    col_used_a[static_cast<std::size_t>(a.col_of(r))] = 1;
+  }
+  std::vector<std::int32_t> pa(static_cast<std::size_t>(n2));
+  {
+    std::int64_t top = 0;
+    for (std::int64_t c = 0; c < n2; ++c) {
+      if (!col_used_a[static_cast<std::size_t>(c)]) {
+        pa[static_cast<std::size_t>(top++)] = static_cast<std::int32_t>(c);
+      }
+    }
+    MONGE_CHECK(top == n2 - n1);
+    for (std::int64_t i = 0; i < n1; ++i) {
+      pa[static_cast<std::size_t>(top + i)] =
+          a.col_of(rows_a[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // Step 2b: P'B (n2×n2). Surviving columns keep their rank in [0,n3); each
+  // empty row of PB gets one of the appended columns [n3,n2) in increasing
+  // row order.
+  std::vector<std::int32_t> pb(static_cast<std::size_t>(n2));
+  {
+    std::int64_t appended = 0;
+    for (std::int64_t r = 0; r < n2; ++r) {
+      if (b.row_empty(r)) {
+        pb[static_cast<std::size_t>(r)] =
+            static_cast<std::int32_t>(n3 + appended++);
+      } else {
+        pb[static_cast<std::size_t>(r)] =
+            col_rank_b[static_cast<std::size_t>(b.col_of(r))];
+      }
+    }
+    MONGE_CHECK(appended == n2 - n3);
+  }
+
+  // Step 3: multiply and extract the bottom-left n1×n3 block.
+  const std::vector<std::int32_t> pc =
+      seaweed_multiply_raw(std::move(pa), std::move(pb));
+  const std::int64_t shift = n2 - n1;
+  for (std::int64_t r = shift; r < n2; ++r) {
+    const std::int32_t c = pc[static_cast<std::size_t>(r)];
+    if (c < n3) {
+      out.set(rows_a[static_cast<std::size_t>(r - shift)],
+              cols_b[static_cast<std::size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace monge

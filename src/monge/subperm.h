@@ -1,0 +1,24 @@
+// Theorem 1.2, sequential version: subunit-Monge multiplication of
+// sub-permutation matrices by reduction to the permutation case (§4.1).
+//
+// Given PA (rA×n2) and PB (n2×cB):
+//  1. delete empty rows of PA and empty columns of PB (they stay empty in
+//     the product),
+//  2. extend the compacted PA' (n1×n2) with n2−n1 fresh rows *above* it,
+//     covering PA's empty columns in increasing order, producing a full
+//     permutation P'A; symmetrically extend PB' with n2−n3 fresh columns
+//     *to the right*, covering PB's empty rows,
+//  3. multiply, and read PC out of the bottom-left n1×n3 block
+//     ([∗ ∗; PC ∗] in the paper's display); the content of the ∗ blocks is
+//     irrelevant as long as P'A, P'B are permutations.
+#pragma once
+
+#include "monge/permutation.h"
+
+namespace monge {
+
+/// PC = PA ⊡ PB for sub-permutations (Lemma 2.2 guarantees PC exists and is
+/// a sub-permutation). O((n2) log(n2)) on top of the compaction.
+Perm subunit_multiply(const Perm& a, const Perm& b);
+
+}  // namespace monge

@@ -1,0 +1,104 @@
+#include "mpc/cluster.h"
+
+#include <algorithm>
+
+namespace monge::mpc {
+
+std::int64_t MachineCtx::machines() const { return cluster_->machines(); }
+
+std::span<const Message> MachineCtx::inbox() const {
+  return cluster_->mailboxes_[static_cast<std::size_t>(id_)];
+}
+
+void MachineCtx::send(std::int64_t to, std::int64_t tag,
+                      std::vector<Word> payload) {
+  MONGE_CHECK_MSG(to >= 0 && to < cluster_->machines(),
+                  "send to invalid machine " << to);
+  Message m;
+  m.from = id_;
+  m.to = to;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  outbox_.push_back(std::move(m));
+}
+
+Cluster::Cluster(MpcConfig cfg) : cfg_(cfg), pool_(cfg.threads) {
+  MONGE_CHECK(cfg_.num_machines >= 1);
+  MONGE_CHECK(cfg_.space_words >= 1);
+  mailboxes_.resize(static_cast<std::size_t>(cfg_.num_machines));
+}
+
+void Cluster::check_space(std::int64_t machine, std::int64_t words,
+                          const char* kind) const {
+  if (cfg_.strict && words > cfg_.space_words) {
+    throw SpaceLimitError(machine, words, cfg_.space_words, kind);
+  }
+}
+
+std::int64_t Cluster::register_resident(
+    std::function<std::int64_t(std::int64_t)> auditor) {
+  const std::int64_t id = next_auditor_id_++;
+  auditors_[id] = std::move(auditor);
+  return id;
+}
+
+void Cluster::unregister_resident(std::int64_t id) { auditors_.erase(id); }
+
+std::int64_t Cluster::resident_words(std::int64_t machine) const {
+  std::int64_t total = 0;
+  for (const auto& [id, fn] : auditors_) total += fn(machine);
+  return total;
+}
+
+void Cluster::run_round(const std::function<void(MachineCtx&)>& fn) {
+  const std::int64_t m = machines();
+
+  // Run the local phase of every machine concurrently. Each machine gets a
+  // private context; message routing happens after the barrier, so delivery
+  // order is deterministic no matter how the pool schedules machines.
+  std::vector<MachineCtx> ctxs;
+  ctxs.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) ctxs.push_back(MachineCtx(this, i));
+
+  pool_.parallel_for(m, [&](std::int64_t i) {
+    fn(ctxs[static_cast<std::size_t>(i)]);
+  });
+
+  // Space accounting: a machine's traffic this round is what it sends plus
+  // what it receives; both are bounded by s in the model. Each message
+  // carries a 2-word envelope (from, tag).
+  std::vector<std::int64_t> incoming_words(static_cast<std::size_t>(m), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int64_t out_words = 0;
+    for (const Message& msg : ctxs[static_cast<std::size_t>(i)].outbox_) {
+      out_words += static_cast<std::int64_t>(msg.payload.size()) + 2;
+    }
+    check_space(i, out_words, "outgoing traffic of");
+    stats_.total_comm_words += out_words;
+  }
+
+  // Route: clear old inboxes, deliver new messages sorted by sender.
+  for (auto& box : mailboxes_) box.clear();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (Message& msg : ctxs[static_cast<std::size_t>(i)].outbox_) {
+      const auto w = static_cast<std::int64_t>(msg.payload.size()) + 2;
+      incoming_words[static_cast<std::size_t>(msg.to)] += w;
+      mailboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+    }
+  }
+
+  // Peak accounting after delivery: resident + inbox.
+  for (std::int64_t i = 0; i < m; ++i) {
+    check_space(i, incoming_words[static_cast<std::size_t>(i)],
+                "incoming traffic of");
+    const std::int64_t resident = resident_words(i);
+    check_space(i, resident, "resident data of");
+    stats_.max_resident_words = std::max(stats_.max_resident_words, resident);
+    stats_.max_machine_words =
+        std::max(stats_.max_machine_words,
+                 resident + incoming_words[static_cast<std::size_t>(i)]);
+  }
+  ++stats_.rounds;
+}
+
+}  // namespace monge::mpc

@@ -1,0 +1,159 @@
+// The MPC cluster simulator.
+//
+// Computation proceeds in rounds (§1.1): in a round every machine runs a
+// local function over its resident data and inbox, and emits messages; the
+// runtime routes the messages, which become the inboxes of the next round.
+// The simulator
+//   * counts rounds — the MPC complexity measure every benchmark reports,
+//   * accounts communication and resident space per machine per round and
+//     (in strict mode) throws SpaceLimitError when the s-word budget is
+//     exceeded — this is how the fully-scalability claims are *measured*,
+//   * runs machine-local work on a thread pool, with deterministic message
+//     delivery (sorted by sender) regardless of scheduling.
+//
+// Messages are flat arrays of 64-bit words; typed helpers pack/unpack
+// trivially-copyable structs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpc/config.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace monge::mpc {
+
+using Word = std::int64_t;
+
+/// Thrown in strict mode when a machine exceeds its space budget.
+class SpaceLimitError : public std::runtime_error {
+ public:
+  SpaceLimitError(std::int64_t machine, std::int64_t words,
+                  std::int64_t limit, const char* what_kind)
+      : std::runtime_error("machine " + std::to_string(machine) + " " +
+                           what_kind + " " + std::to_string(words) +
+                           " words exceeds space budget " +
+                           std::to_string(limit)),
+        machine_(machine),
+        words_(words),
+        limit_(limit) {}
+
+  std::int64_t machine() const { return machine_; }
+  std::int64_t words() const { return words_; }
+  std::int64_t limit() const { return limit_; }
+
+ private:
+  std::int64_t machine_, words_, limit_;
+};
+
+struct Message {
+  std::int64_t from = 0;
+  std::int64_t to = 0;
+  std::int64_t tag = 0;
+  std::vector<Word> payload;
+
+  /// Decodes the payload as an array of T (trivially copyable, padded to
+  /// whole words by the sender).
+  template <typename T>
+  std::vector<T> decode() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    constexpr std::size_t wpe = (sizeof(T) + 7) / 8;
+    MONGE_CHECK(payload.size() % wpe == 0);
+    std::vector<T> out(payload.size() / wpe);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      std::memcpy(&out[i], payload.data() + i * wpe, sizeof(T));
+    }
+    return out;
+  }
+};
+
+struct ClusterStats {
+  std::int64_t rounds = 0;
+  std::int64_t total_comm_words = 0;
+  /// Peak over rounds and machines of inbox + outbox + resident words.
+  std::int64_t max_machine_words = 0;
+  /// Peak resident (registered DistVector shards) alone.
+  std::int64_t max_resident_words = 0;
+};
+
+class Cluster;
+
+/// Handle a machine uses inside a round to read its inbox and send.
+class MachineCtx {
+ public:
+  std::int64_t id() const { return id_; }
+  std::int64_t machines() const;
+  std::span<const Message> inbox() const;
+
+  void send(std::int64_t to, std::int64_t tag, std::vector<Word> payload);
+
+  /// Typed send: packs an array of T into words.
+  template <typename T>
+  void send_items(std::int64_t to, std::int64_t tag, std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    constexpr std::size_t wpe = (sizeof(T) + 7) / 8;
+    std::vector<Word> payload(items.size() * wpe, 0);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::memcpy(payload.data() + i * wpe, &items[i], sizeof(T));
+    }
+    send(to, tag, std::move(payload));
+  }
+
+ private:
+  friend class Cluster;
+  MachineCtx(Cluster* cluster, std::int64_t id) : cluster_(cluster), id_(id) {}
+
+  Cluster* cluster_;
+  std::int64_t id_;
+  std::vector<Message> outbox_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(MpcConfig cfg);
+
+  std::int64_t machines() const { return cfg_.num_machines; }
+  std::int64_t space_words() const { return cfg_.space_words; }
+  const MpcConfig& config() const { return cfg_; }
+  const ClusterStats& stats() const { return stats_; }
+  std::int64_t rounds() const { return stats_.rounds; }
+
+  /// Executes one MPC round: fn runs once per machine (in parallel), then
+  /// outgoing messages are validated against the space budget and routed.
+  void run_round(const std::function<void(MachineCtx&)>& fn);
+
+  /// Resets round/communication statistics (not mailboxes).
+  void reset_stats() { stats_ = ClusterStats{}; }
+
+  /// Registers a resident-space auditor (used by DistVector); returns an id
+  /// for unregistering. The auditor reports the words a data structure
+  /// currently keeps on a given machine.
+  std::int64_t register_resident(
+      std::function<std::int64_t(std::int64_t)> auditor);
+  void unregister_resident(std::int64_t id);
+
+  /// Current resident words on a machine (sum over live auditors).
+  std::int64_t resident_words(std::int64_t machine) const;
+
+ private:
+  void check_space(std::int64_t machine, std::int64_t words,
+                   const char* kind) const;
+
+  MpcConfig cfg_;
+  ThreadPool pool_;
+  ClusterStats stats_;
+  std::vector<std::vector<Message>> mailboxes_;  // inbox per machine
+  std::map<std::int64_t, std::function<std::int64_t(std::int64_t)>> auditors_;
+  std::int64_t next_auditor_id_ = 0;
+
+  friend class MachineCtx;
+};
+
+}  // namespace monge::mpc

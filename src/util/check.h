@@ -1,0 +1,46 @@
+// Lightweight runtime-check macros used across the library.
+//
+// MONGE_CHECK is always on (it guards API contracts and simulator
+// invariants such as MPC space limits); MONGE_DCHECK compiles out in
+// release builds and is used for hot-loop invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace monge::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace monge::detail
+
+#define MONGE_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::monge::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define MONGE_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::monge::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                    os_.str());                         \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define MONGE_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define MONGE_DCHECK(expr) MONGE_CHECK(expr)
+#endif

@@ -1,0 +1,42 @@
+// Fenwick (binary indexed) tree over a fixed-size array of integers.
+// Used by sequential oracles (dominance counting, windowed LIS queries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace monge {
+
+class Fenwick {
+ public:
+  explicit Fenwick(std::int64_t n) : tree_(static_cast<std::size_t>(n) + 1) {}
+
+  std::int64_t size() const { return static_cast<std::int64_t>(tree_.size()) - 1; }
+
+  void add(std::int64_t i, std::int64_t delta) {
+    MONGE_DCHECK(i >= 0 && i < size());
+    for (++i; i <= size(); i += i & -i) tree_[static_cast<std::size_t>(i)] += delta;
+  }
+
+  /// Sum of entries [0, i)  (i in [0, size()]).
+  std::int64_t prefix(std::int64_t i) const {
+    MONGE_DCHECK(i >= 0 && i <= size());
+    std::int64_t s = 0;
+    for (; i > 0; i -= i & -i) s += tree_[static_cast<std::size_t>(i)];
+    return s;
+  }
+
+  /// Sum of entries [lo, hi).
+  std::int64_t range(std::int64_t lo, std::int64_t hi) const {
+    return prefix(hi) - prefix(lo);
+  }
+
+  void reset() { std::fill(tree_.begin(), tree_.end(), 0); }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace monge

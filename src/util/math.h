@@ -1,0 +1,55 @@
+// Small integer-math helpers shared by the simulator and the algorithms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace monge {
+
+/// ceil(a / b) for non-negative a, positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// Integer power base^e (no overflow checks; callers keep results small).
+constexpr std::int64_t ipow(std::int64_t base, int e) {
+  std::int64_t r = 1;
+  while (e-- > 0) r *= base;
+  return r;
+}
+
+/// round(n^alpha) clamped to [1, n]; used for machine counts m = n^delta and
+/// fan-outs H = n^eta where the paper's parameters are real exponents.
+inline std::int64_t ipow_frac(std::int64_t n, double alpha) {
+  MONGE_CHECK(n >= 1);
+  if (alpha <= 0.0) return 1;
+  if (alpha >= 1.0) return n;
+  const double v = std::pow(static_cast<double>(n), alpha);
+  auto r = static_cast<std::int64_t>(std::llround(v));
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return r;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::int64_t next_pow2(std::int64_t x) {
+  std::int64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace monge

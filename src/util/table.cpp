@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace monge {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  MONGE_CHECK_MSG(cells.size() == rows_[0].size(),
+                  "row width " << cells.size() << " != header width "
+                               << rows_[0].size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+         << rows_[r][c];
+    }
+    os << '\n';
+    if (r == 0) {
+      os << "  ";
+      for (std::size_t c = 0; c < rows_[0].size(); ++c) {
+        os << std::string(width[c], '-') << "  ";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace monge

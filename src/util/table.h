@@ -1,0 +1,27 @@
+// Plain-text table printer used by the benchmark harness to emit
+// paper-style tables (rows/series) on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace monge {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns; first row is underlined.
+  std::string to_string() const;
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace monge

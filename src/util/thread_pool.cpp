@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace monge {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const auto threads = static_cast<std::int64_t>(thread_count());
+  // With a single worker (or tiny n) run inline: avoids latency and makes
+  // single-core debugging deterministic.
+  if (threads <= 1 || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const std::int64_t chunks = std::min<std::int64_t>(n, 4 * threads);
+  const std::int64_t chunk = ceil_div(n, chunks);
+
+  std::atomic<std::int64_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::int64_t scheduled = 0;
+  for (std::int64_t lo = 0; lo < n; lo += chunk) ++scheduled;
+  remaining.store(scheduled);
+
+  for (std::int64_t lo = 0; lo < n; lo += chunk) {
+    const std::int64_t hi = std::min(n, lo + chunk);
+    std::function<void()> task = [&, lo, hi] {
+      try {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    };
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace monge

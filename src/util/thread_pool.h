@@ -1,0 +1,45 @@
+// A small work-stealing-free thread pool with a parallel_for helper.
+//
+// The MPC simulator uses it to run machine-local computation of one round
+// concurrently, mirroring how a real cluster executes a superstep. The pool
+// is created once per Cluster; parallel_for blocks until every chunk is done
+// (a round is a barrier, exactly like a BSP superstep).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace monge {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n); blocks until all iterations complete.
+  /// Iterations are chunked to limit scheduling overhead. Exceptions thrown
+  /// by fn are rethrown (first one wins) on the calling thread.
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace monge

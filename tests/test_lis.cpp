@@ -1,0 +1,193 @@
+#include "lis/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "lis/kernel.h"
+#include "lis/mpc_lis.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace monge::lis {
+namespace {
+
+std::vector<std::int64_t> to64(const std::vector<std::int32_t>& v) {
+  return std::vector<std::int64_t>(v.begin(), v.end());
+}
+
+TEST(LisSequential, KnownValues) {
+  EXPECT_EQ(lis_length(std::vector<std::int64_t>{}), 0);
+  EXPECT_EQ(lis_length(std::vector<std::int64_t>{5}), 1);
+  EXPECT_EQ(lis_length(std::vector<std::int64_t>{1, 2, 3}), 3);
+  EXPECT_EQ(lis_length(std::vector<std::int64_t>{3, 2, 1}), 1);
+  EXPECT_EQ(lis_length(std::vector<std::int64_t>{3, 1, 4, 1, 5, 9, 2, 6}), 4);
+  // Duplicates: strictly increasing.
+  EXPECT_EQ(lis_length(std::vector<std::int64_t>{2, 2, 2}), 1);
+  EXPECT_EQ(lis_length(std::vector<std::int64_t>{1, 2, 2, 3}), 3);
+}
+
+TEST(LisSequential, PatienceMatchesDp) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::int64_t> seq(static_cast<std::size_t>(rng.next_in(0, 60)));
+    for (auto& x : seq) x = rng.next_in(0, 20);  // duplicates likely
+    ASSERT_EQ(lis_length(seq), lis_length_dp(seq));
+  }
+}
+
+TEST(LisSequential, RankReduceStrictPreservesLis) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::int64_t> seq(static_cast<std::size_t>(rng.next_in(1, 50)));
+    for (auto& x : seq) x = rng.next_in(-5, 5);
+    const auto rank = rank_reduce_strict(seq);
+    ASSERT_EQ(lis_length(seq), lis_length(to64(rank)));
+  }
+}
+
+TEST(LisKernel, ExhaustiveSmallPermutations) {
+  // Every permutation of sizes 1..7: the kernel must answer every window.
+  for (int n = 1; n <= 7; ++n) {
+    const auto perms = testing::all_permutations(n);
+    for (const auto& p : perms) {
+      const Perm kernel = lis_kernel(p);
+      const auto seq = to64(p);
+      for (std::int64_t l = 0; l < n; ++l) {
+        for (std::int64_t r = l; r < n; ++r) {
+          ASSERT_EQ(kernel_window_lis(kernel, l, r), lis_window(seq, l, r))
+              << "n=" << n << " l=" << l << " r=" << r;
+        }
+      }
+      ASSERT_EQ(lis_from_kernel(kernel), lis_length(seq));
+    }
+  }
+}
+
+class KernelRandom : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(KernelRandom, WindowsMatchOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto p = rng.permutation(GetParam());
+  const Perm kernel = lis_kernel(p);
+  const auto seq = to64(p);
+  EXPECT_EQ(lis_from_kernel(kernel), lis_length(seq));
+  std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t l = rng.next_in(0, GetParam() - 1);
+    const std::int64_t r = rng.next_in(l, GetParam() - 1);
+    windows.push_back({l, r});
+  }
+  const auto batch = kernel_window_lis_batch(kernel, windows);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    ASSERT_EQ(batch[i],
+              lis_window(seq, windows[i].first, windows[i].second));
+    ASSERT_EQ(batch[i], kernel_window_lis(kernel, windows[i].first,
+                                          windows[i].second));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelRandom,
+                         ::testing::Values<std::int64_t>(8, 17, 33, 64, 128,
+                                                         257));
+
+TEST(LisKernel, SortedAndReversedExtremes) {
+  std::vector<std::int32_t> sorted(50), rev(50);
+  for (int i = 0; i < 50; ++i) {
+    sorted[static_cast<std::size_t>(i)] = i;
+    rev[static_cast<std::size_t>(i)] = 49 - i;
+  }
+  EXPECT_EQ(lis_kernel(sorted).point_count(), 0);  // LIS = n everywhere
+  EXPECT_EQ(lis_from_kernel(lis_kernel(rev)), 1);
+}
+
+mpc::MpcConfig cfg_of(std::int64_t machines) {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = machines;
+  cfg.space_words = 1 << 22;
+  cfg.strict = false;
+  cfg.threads = 2;
+  return cfg;
+}
+
+struct MpcLisCase {
+  std::int64_t n, m, classes;
+  std::uint64_t seed;
+};
+
+class MpcLisSweep : public ::testing::TestWithParam<MpcLisCase> {};
+
+TEST_P(MpcLisSweep, MatchesPatienceAndKernelOracle) {
+  const auto& p = GetParam();
+  mpc::Cluster cluster(cfg_of(p.m));
+  Rng rng(p.seed);
+  std::vector<std::int64_t> seq(static_cast<std::size_t>(p.n));
+  for (auto& x : seq) x = rng.next_in(0, p.n);  // duplicates allowed
+
+  MpcLisOptions opt;
+  opt.leaf_classes = p.classes;
+  opt.multiply.split_h = 2;
+  const auto res = mpc_lis(cluster, seq, opt);
+  ASSERT_EQ(res.lis, lis_length(seq));
+  EXPECT_GT(res.rounds, 0);
+
+  // Semi-local: windows answered from the MPC kernel must match patience.
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::int64_t l = rng.next_in(0, p.n - 1);
+    const std::int64_t r = rng.next_in(l, p.n - 1);
+    ASSERT_EQ(kernel_window_lis(res.kernel, l, r), lis_window(seq, l, r))
+        << "l=" << l << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpcLisSweep,
+    ::testing::Values(MpcLisCase{16, 2, 2, 1}, MpcLisCase{32, 4, 4, 2},
+                      MpcLisCase{64, 4, 8, 3}, MpcLisCase{100, 5, 4, 4},
+                      MpcLisCase{128, 8, 8, 5}, MpcLisCase{200, 8, 16, 6},
+                      MpcLisCase{256, 16, 16, 7}, MpcLisCase{333, 8, 8, 8}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m) + "_c" +
+             std::to_string(info.param.classes);
+    });
+
+TEST(MpcLis, AdversarialShapes) {
+  mpc::Cluster cluster(cfg_of(4));
+  // Sorted, reversed, sawtooth, constant.
+  std::vector<std::vector<std::int64_t>> inputs;
+  std::vector<std::int64_t> sorted(64), rev(64), saw(64), flat(64, 7);
+  for (int i = 0; i < 64; ++i) {
+    sorted[static_cast<std::size_t>(i)] = i;
+    rev[static_cast<std::size_t>(i)] = 64 - i;
+    saw[static_cast<std::size_t>(i)] = i % 8;
+  }
+  inputs = {sorted, rev, saw, flat};
+  for (const auto& seq : inputs) {
+    const auto res = mpc_lis(cluster, seq);
+    ASSERT_EQ(res.lis, lis_length(seq));
+  }
+}
+
+TEST(MpcLis, RoundsGrowLogarithmically) {
+  // Theorem 1.3 shape check: rounds scale with the number of merge levels
+  // (log n), not with n. Quadrupling n with fixed classes-per-machine adds
+  // ~2 levels of merging.
+  std::vector<std::int64_t> rounds;
+  for (std::int64_t n : {64, 256, 1024}) {
+    mpc::Cluster cluster(cfg_of(8));
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<std::int64_t> seq(static_cast<std::size_t>(n));
+    for (auto& x : seq) x = rng.next_in(0, 1 << 30);
+    MpcLisOptions opt;
+    opt.leaf_classes = n / 16;  // leaf size fixed => levels grow with log n
+    const auto res = mpc_lis(cluster, seq, opt);
+    ASSERT_EQ(res.lis, lis_length(seq));
+    rounds.push_back(res.rounds);
+  }
+  EXPECT_LT(rounds[0], rounds[1]);
+  EXPECT_LT(rounds[1], rounds[2]);
+  // Sub-linear growth: quadrupling n should nowhere near quadruple rounds.
+  EXPECT_LT(rounds[2], rounds[0] * 4);
+}
+
+}  // namespace
+}  // namespace monge::lis

@@ -1,0 +1,190 @@
+#include "mpc/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpc/dist_vector.h"
+
+namespace monge::mpc {
+namespace {
+
+MpcConfig small_config(std::int64_t machines, std::int64_t space = 1 << 20,
+                       bool strict = true) {
+  MpcConfig cfg;
+  cfg.num_machines = machines;
+  cfg.space_words = space;
+  cfg.strict = strict;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(Cluster, CountsRounds) {
+  Cluster c(small_config(4));
+  EXPECT_EQ(c.rounds(), 0);
+  for (int i = 0; i < 5; ++i) c.run_round([](MachineCtx&) {});
+  EXPECT_EQ(c.rounds(), 5);
+  c.reset_stats();
+  EXPECT_EQ(c.rounds(), 0);
+}
+
+TEST(Cluster, DeliversMessagesNextRound) {
+  Cluster c(small_config(3));
+  c.run_round([](MachineCtx& mc) {
+    if (mc.id() == 0) mc.send(2, 7, {10, 20});
+    EXPECT_TRUE(mc.inbox().empty());  // nothing in flight yet
+  });
+  c.run_round([](MachineCtx& mc) {
+    if (mc.id() == 2) {
+      ASSERT_EQ(mc.inbox().size(), 1u);
+      EXPECT_EQ(mc.inbox()[0].from, 0);
+      EXPECT_EQ(mc.inbox()[0].tag, 7);
+      EXPECT_EQ(mc.inbox()[0].payload, (std::vector<Word>{10, 20}));
+    } else {
+      EXPECT_TRUE(mc.inbox().empty());
+    }
+  });
+  // Mailboxes are cleared after consumption.
+  c.run_round([](MachineCtx& mc) { EXPECT_TRUE(mc.inbox().empty()); });
+}
+
+TEST(Cluster, DeliveryOrderedBySender) {
+  Cluster c(small_config(8));
+  c.run_round([](MachineCtx& mc) {
+    if (mc.id() > 0) mc.send(0, mc.id(), {mc.id()});
+  });
+  c.run_round([](MachineCtx& mc) {
+    if (mc.id() != 0) return;
+    ASSERT_EQ(mc.inbox().size(), 7u);
+    for (std::size_t k = 0; k < 7; ++k) {
+      EXPECT_EQ(mc.inbox()[k].from, static_cast<std::int64_t>(k) + 1);
+    }
+  });
+}
+
+TEST(Cluster, TypedSendRoundTrip) {
+  struct Pair {
+    std::int32_t a;
+    std::int32_t b;
+  };
+  Cluster c(small_config(2));
+  const std::vector<Pair> sent = {{1, 2}, {3, 4}, {-5, 6}};
+  c.run_round([&](MachineCtx& mc) {
+    if (mc.id() == 0) mc.send_items<Pair>(1, 0, sent);
+  });
+  c.run_round([&](MachineCtx& mc) {
+    if (mc.id() != 1) return;
+    ASSERT_EQ(mc.inbox().size(), 1u);
+    const auto got = mc.inbox()[0].decode<Pair>();
+    ASSERT_EQ(got.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(got[i].a, sent[i].a);
+      EXPECT_EQ(got[i].b, sent[i].b);
+    }
+  });
+}
+
+TEST(Cluster, StrictModeRejectsOversizedTraffic) {
+  Cluster c(small_config(2, /*space=*/16, /*strict=*/true));
+  EXPECT_THROW(c.run_round([](MachineCtx& mc) {
+    if (mc.id() == 0) mc.send(1, 0, std::vector<Word>(100, 1));
+  }),
+               SpaceLimitError);
+}
+
+TEST(Cluster, LenientModeAllowsOversizedTraffic) {
+  Cluster c(small_config(2, /*space=*/16, /*strict=*/false));
+  EXPECT_NO_THROW(c.run_round([](MachineCtx& mc) {
+    if (mc.id() == 0) mc.send(1, 0, std::vector<Word>(100, 1));
+  }));
+  c.run_round([](MachineCtx&) {});
+  EXPECT_GT(c.stats().max_machine_words, 16);
+}
+
+TEST(Cluster, SpaceErrorCarriesDiagnostics) {
+  Cluster c(small_config(2, 16, true));
+  try {
+    c.run_round([](MachineCtx& mc) {
+      if (mc.id() == 1) mc.send(0, 0, std::vector<Word>(50, 0));
+    });
+    FAIL() << "expected SpaceLimitError";
+  } catch (const SpaceLimitError& e) {
+    EXPECT_EQ(e.machine(), 1);
+    EXPECT_EQ(e.limit(), 16);
+    EXPECT_GE(e.words(), 50);
+  }
+}
+
+TEST(Cluster, TracksCommunicationTotals) {
+  Cluster c(small_config(4));
+  c.run_round([](MachineCtx& mc) { mc.send((mc.id() + 1) % 4, 0, {1, 2, 3}); });
+  c.run_round([](MachineCtx&) {});
+  // 4 messages * (3 payload + 2 envelope) words.
+  EXPECT_EQ(c.stats().total_comm_words, 4 * 5);
+}
+
+TEST(Cluster, ResidentAuditing) {
+  Cluster c(small_config(2, /*space=*/64, /*strict=*/true));
+  {
+    DistVector<std::int64_t> dv(c, 100);  // 50 words per machine
+    EXPECT_EQ(c.resident_words(0), 50);
+    EXPECT_NO_THROW(c.run_round([](MachineCtx&) {}));
+    DistVector<std::int64_t> dv2(c, 60);  // +30 words -> 80 > 64
+    EXPECT_THROW(c.run_round([](MachineCtx&) {}), SpaceLimitError);
+  }
+  // Auditors unregistered on destruction.
+  EXPECT_EQ(c.resident_words(0), 0);
+  EXPECT_NO_THROW(c.run_round([](MachineCtx&) {}));
+}
+
+TEST(Cluster, FullyScalableConfigShapes) {
+  const auto cfg = MpcConfig::fully_scalable(1 << 20, 0.5);
+  EXPECT_EQ(cfg.num_machines, 1 << 10);
+  EXPECT_GT(cfg.space_words, 1 << 10);
+  // Machines grow with delta, space shrinks.
+  const auto hi = MpcConfig::fully_scalable(1 << 20, 0.7);
+  EXPECT_GT(hi.num_machines, cfg.num_machines);
+  EXPECT_LT(hi.space_words, cfg.space_words);
+}
+
+TEST(DistVectorTest, LayoutCoversAllIndices) {
+  for (std::int64_t m : {1, 2, 3, 7, 10}) {
+    for (std::int64_t n : {0, 1, 5, 9, 10, 23, 100}) {
+      BlockLayout layout{n, m};
+      std::int64_t covered = 0;
+      for (std::int64_t i = 0; i < m; ++i) {
+        EXPECT_EQ(layout.hi(i) - layout.lo(i), layout.size(i));
+        covered += layout.size(i);
+      }
+      EXPECT_EQ(covered, n);
+      for (std::int64_t idx = 0; idx < n; ++idx) {
+        const std::int64_t o = layout.owner(idx);
+        EXPECT_LE(layout.lo(o), idx);
+        EXPECT_LT(idx, layout.hi(o));
+      }
+    }
+  }
+}
+
+TEST(DistVectorTest, HostRoundTrip) {
+  Cluster c(small_config(5));
+  std::vector<std::int64_t> data(123);
+  std::iota(data.begin(), data.end(), -17);
+  auto dv = DistVector<std::int64_t>::from_host(c, data);
+  EXPECT_TRUE(dv.is_balanced());
+  EXPECT_EQ(dv.to_host(), data);
+}
+
+TEST(DistVectorTest, MoveKeepsAuditingConsistent) {
+  Cluster c(small_config(2));
+  DistVector<std::int64_t> a(c, 100);
+  const std::int64_t before = c.resident_words(0);
+  DistVector<std::int64_t> b = std::move(a);
+  EXPECT_EQ(c.resident_words(0), before);  // no double counting
+  DistVector<std::int64_t> d(c, 10);
+  d = std::move(b);
+  EXPECT_EQ(c.resident_words(0), before);  // old shard of d released
+}
+
+}  // namespace
+}  // namespace monge::mpc

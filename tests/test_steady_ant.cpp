@@ -1,0 +1,124 @@
+#include "monge/steady_ant.h"
+
+#include <gtest/gtest.h>
+
+#include "monge/delta.h"
+#include "monge/distribution.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace monge {
+namespace {
+
+using testing::all_permutations;
+using testing::make_colored_split;
+
+/// Splits the product a⊡b into two colored halves and runs the ant.
+Perm ant_product(const Perm& a, const Perm& b) {
+  const ColoredPointSet set = make_colored_split(a, b, 2);
+  Perm union_perm(set.n(), set.n());
+  std::vector<std::uint8_t> color(static_cast<std::size_t>(set.n()), 0);
+  for (const auto& p : set.points()) {
+    union_perm.set(p.row, p.col);
+    color[static_cast<std::size_t>(p.row)] =
+        static_cast<std::uint8_t>(p.color);
+  }
+  return steady_ant_combine(union_perm, color);
+}
+
+TEST(SteadyAnt, ExhaustiveSmallPermutations) {
+  // Every pair of permutations of size 1..5 — 5!^2 products at the top size.
+  for (int n = 1; n <= 5; ++n) {
+    const auto perms = all_permutations(n);
+    for (const auto& pa : perms) {
+      for (const auto& pb : perms) {
+        const Perm a = Perm::from_rows(pa, n);
+        const Perm b = Perm::from_rows(pb, n);
+        ASSERT_EQ(ant_product(a, b), multiply_naive(a, b))
+            << "n=" << n;
+      }
+    }
+  }
+}
+
+class SteadyAntRandom : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SteadyAntRandom, MatchesNaiveOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Perm a = Perm::random(GetParam(), rng);
+    const Perm b = Perm::random(GetParam(), rng);
+    ASSERT_EQ(ant_product(a, b), multiply_naive(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SteadyAntRandom,
+                         ::testing::Values<std::int64_t>(2, 3, 6, 7, 8, 15, 16,
+                                                         31, 33, 48, 64, 96));
+
+TEST(SteadyAnt, ThresholdsMatchBruteForceDelta) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t n = 24;
+    const Perm a = Perm::random(n, rng);
+    const Perm b = Perm::random(n, rng);
+    const ColoredPointSet set = make_colored_split(a, b, 2);
+
+    std::vector<std::int32_t> rc(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> color(static_cast<std::size_t>(n));
+    for (const auto& p : set.points()) {
+      rc[static_cast<std::size_t>(p.row)] = static_cast<std::int32_t>(p.col);
+      color[static_cast<std::size_t>(p.row)] =
+          static_cast<std::uint8_t>(p.color);
+    }
+    const auto t = steady_ant_thresholds(rc, color);
+    ASSERT_EQ(static_cast<std::int64_t>(t.size()), n + 1);
+    for (std::int64_t j = 0; j <= n; ++j) {
+      // t[j] = max{i : delta(i,j) <= 0}.
+      std::int64_t expect = 0;
+      for (std::int64_t i = 0; i <= n; ++i) {
+        if (set.delta(0, 1, i, j) <= 0) expect = i;
+      }
+      ASSERT_EQ(t[static_cast<std::size_t>(j)], expect) << "j=" << j;
+    }
+    // Thresholds are nonincreasing (monotone demarcation line).
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_GE(t[static_cast<std::size_t>(j)],
+                t[static_cast<std::size_t>(j) + 1]);
+    }
+    EXPECT_EQ(t[0], n);
+  }
+}
+
+TEST(SteadyAnt, AgreesWithOptTableReconstruction) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t n = 20;
+    const Perm a = Perm::random(n, rng);
+    const Perm b = Perm::random(n, rng);
+    const ColoredPointSet set = make_colored_split(a, b, 2);
+    EXPECT_EQ(combine_opt_table(set), ant_product(a, b));
+  }
+}
+
+TEST(SteadyAnt, SingleColorUnionIsIdentityOperation) {
+  // If every point belongs to subproblem 0 the combine must return the
+  // union unchanged (F_0 is the only candidate).
+  Rng rng(7);
+  const Perm p = Perm::random(32, rng);
+  std::vector<std::uint8_t> color(32, 0);
+  EXPECT_EQ(steady_ant_combine(p, color), p);
+  std::vector<std::uint8_t> color1(32, 1);
+  EXPECT_EQ(steady_ant_combine(p, color1), p);
+}
+
+TEST(SteadyAnt, RejectsNonPermutationUnion) {
+  Perm p(3, 3);
+  p.set(0, 0);
+  p.set(1, 1);  // row 2 empty
+  std::vector<std::uint8_t> color(3, 0);
+  EXPECT_THROW(steady_ant_combine(p, color), std::logic_error);
+}
+
+}  // namespace
+}  // namespace monge

@@ -1,0 +1,106 @@
+#include "monge/subperm.h"
+
+#include <gtest/gtest.h>
+
+#include "monge/distribution.h"
+#include "monge/seaweed.h"
+#include "util/rng.h"
+
+namespace monge {
+namespace {
+
+struct SubCase {
+  std::int64_t ra, n2, cb;  // a: ra×n2, b: n2×cb
+  std::int64_t ka, kb;      // point counts
+  std::uint64_t seed;
+};
+
+class SubPerm : public ::testing::TestWithParam<SubCase> {};
+
+TEST_P(SubPerm, MatchesNaiveOracle) {
+  const auto& cse = GetParam();
+  Rng rng(cse.seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Perm a = Perm::random_sub(cse.ra, cse.n2, cse.ka, rng);
+    const Perm b = Perm::random_sub(cse.n2, cse.cb, cse.kb, rng);
+    ASSERT_EQ(subunit_multiply(a, b), multiply_naive(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SubPerm,
+    ::testing::Values(SubCase{4, 4, 4, 2, 3, 1}, SubCase{6, 9, 5, 4, 4, 2},
+                      SubCase{10, 7, 12, 5, 6, 3}, SubCase{1, 8, 1, 1, 1, 4},
+                      SubCase{16, 16, 16, 16, 16, 5},  // full permutations
+                      SubCase{16, 16, 16, 0, 8, 6},    // empty A
+                      SubCase{12, 20, 9, 7, 0, 7},     // empty B
+                      SubCase{33, 17, 21, 11, 13, 8},
+                      SubCase{5, 40, 6, 5, 6, 9},   // tall middle dimension
+                      SubCase{40, 5, 40, 3, 2, 10}  // tiny middle dimension
+                      ),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.ra) + "m" +
+             std::to_string(info.param.n2) + "c" +
+             std::to_string(info.param.cb) + "ka" +
+             std::to_string(info.param.ka) + "kb" +
+             std::to_string(info.param.kb);
+    });
+
+TEST(SubPermBasics, FullPermutationsReduceToSeaweed) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Perm a = Perm::random(64, rng);
+    const Perm b = Perm::random(64, rng);
+    EXPECT_EQ(subunit_multiply(a, b), seaweed_multiply(a, b));
+  }
+}
+
+TEST(SubPermBasics, ZeroDimensions) {
+  const Perm a(0, 0);
+  const Perm b(0, 0);
+  const Perm c = subunit_multiply(a, b);
+  EXPECT_EQ(c.rows(), 0);
+  EXPECT_EQ(c.cols(), 0);
+}
+
+TEST(SubPermBasics, MismatchedDimensionsThrow) {
+  const Perm a(3, 4);
+  const Perm b(5, 3);
+  EXPECT_THROW(subunit_multiply(a, b), std::logic_error);
+}
+
+TEST(SubPermBasics, PaddingContentIrrelevance) {
+  // §4.1 argues the ∗ blocks are irrelevant. Cross-check: computing
+  // through the naive oracle on the *unpadded* sub-permutations agrees
+  // with the padded reduction for many shapes (covered above); here we
+  // additionally pin down one hand-checked product.
+  //   A = [ (0,1) ] in 2×3,  B = [ (1,0) ] in 3×2.
+  Perm a(2, 3);
+  a.set(0, 1);
+  Perm b(3, 2);
+  b.set(1, 0);
+  const Perm c = subunit_multiply(a, b);
+  // PΣ_A(i,j) = [i<=0][j>=2]; PΣ_B(j,k) = [j<=1][k>=1].
+  // PΣ_C(i,k) = min_j(PΣ_A(i,j)+PΣ_B(j,k)): for (i,k)=(0,1): j=2 gives 1+0;
+  // j=1 gives 0+1 ⇒ min 1... all entries: only C(0,?): the product has a
+  // single point at (0,0).
+  EXPECT_EQ(c, multiply_naive(a, b));
+  EXPECT_EQ(c.point_count(), 1);
+  EXPECT_EQ(c.col_of(0), 0);
+}
+
+TEST(SubPermBasics, ChainOfProductsStaysSubPermutation) {
+  Rng rng(17);
+  Perm acc = Perm::random_sub(20, 20, 15, rng);
+  for (int step = 0; step < 6; ++step) {
+    const Perm next = Perm::random_sub(20, 20, 12 + step, rng);
+    acc = subunit_multiply(acc, next);
+    // Closure (Lemma 2.2): still a valid sub-permutation; validation
+    // happens inside Perm, so reaching here is the assertion. Point count
+    // can only shrink or stay equal relative to min of operands.
+    EXPECT_LE(acc.point_count(), 20);
+  }
+}
+
+}  // namespace
+}  // namespace monge

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/fenwick.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace monge {
+namespace {
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+}
+
+TEST(Math, Logs) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Math, IpowFrac) {
+  EXPECT_EQ(ipow_frac(1024, 0.5), 32);
+  EXPECT_EQ(ipow_frac(1, 0.5), 1);
+  EXPECT_EQ(ipow_frac(100, 0.0), 1);
+  EXPECT_EQ(ipow_frac(100, 1.0), 100);
+  // Clamped to [1, n].
+  EXPECT_GE(ipow_frac(7, 0.01), 1);
+  EXPECT_LE(ipow_frac(7, 0.99), 7);
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(1000), 1024);
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a2.next() != c2.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(1);
+  const auto p = rng.permutation(257);
+  std::set<std::int32_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 257u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 256);
+}
+
+TEST(Fenwick, PrefixAndRange) {
+  Fenwick f(10);
+  for (int i = 0; i < 10; ++i) f.add(i, i);
+  EXPECT_EQ(f.prefix(0), 0);
+  EXPECT_EQ(f.prefix(10), 45);
+  EXPECT_EQ(f.range(3, 7), 3 + 4 + 5 + 6);
+  f.add(5, 100);
+  EXPECT_EQ(f.range(5, 6), 105);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::int64_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations) {
+  ThreadPool pool(3);
+  int count = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.parallel_for(1, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace monge
