@@ -1,17 +1,21 @@
-// google-benchmark: the sequential substrate. Seaweed O(n log n) vs the
-// O(n^3) distribution-matrix oracle (crossover is immediate), plus the
-// steady-ant combine on its own.
+// google-benchmark: the sequential substrate. The arena-backed SeaweedEngine
+// vs the legacy per-node-allocating recursion it replaced, engine knob
+// sweeps (base-case cutoff, thread scaling), the O(n^3) distribution-matrix
+// oracle (crossover is immediate), plus the steady-ant combine on its own.
 #include <benchmark/benchmark.h>
 
 #include "monge/distribution.h"
+#include "monge/engine.h"
 #include "monge/seaweed.h"
 #include "monge/steady_ant.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace monge;
 
 namespace {
 
+// Public API path (routes through the thread-local engine).
 void BM_SeaweedMultiply(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   Rng rng(1);
@@ -23,6 +27,73 @@ void BM_SeaweedMultiply(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_SeaweedMultiply)->Range(1 << 8, 1 << 14)->Complexity();
+
+// The seed's textbook recursion (~8 fresh std::vectors per node), kept as
+// the baseline the engine is measured against.
+void BM_SeaweedReference(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const auto a = rng.permutation(n);
+  const auto b = rng.permutation(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seaweed_multiply_reference_raw(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SeaweedReference)->Range(1 << 8, 1 << 14)->Complexity();
+
+// Engine with a warm arena and default knobs, sequential.
+void BM_SeaweedEngine(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const auto a = rng.permutation(n);
+  const auto b = rng.permutation(n);
+  SeaweedEngine engine;
+  std::vector<std::int32_t> out(a.size());
+  for (auto _ : state) {
+    engine.multiply_into(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SeaweedEngine)->Range(1 << 8, 1 << 14)->Complexity();
+
+// Base-case cutoff sweep at fixed n (tuning knob for
+// SeaweedEngineOptions::base_case_cutoff).
+void BM_SeaweedEngineCutoff(benchmark::State& state) {
+  const std::int64_t n = 1 << 14;
+  const std::int64_t cutoff = state.range(0);
+  Rng rng(1);
+  const auto a = rng.permutation(n);
+  const auto b = rng.permutation(n);
+  SeaweedEngine engine({.base_case_cutoff = cutoff});
+  std::vector<std::int32_t> out(a.size());
+  for (auto _ : state) {
+    engine.multiply_into(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SeaweedEngineCutoff)->RangeMultiplier(2)->Range(1, 128);
+
+// Thread scaling at fixed n. The grain is dropped to n/16 so the fork tree
+// is deep enough (16 leaves) to occupy every requested worker — with the
+// default grain of 2^13 only the root of a 2^14 problem would fork.
+void BM_SeaweedEngineThreads(benchmark::State& state) {
+  const std::int64_t n = 1 << 14;
+  const auto threads = static_cast<unsigned>(state.range(0));
+  Rng rng(1);
+  const auto a = rng.permutation(n);
+  const auto b = rng.permutation(n);
+  ThreadPool pool(threads);
+  SeaweedEngine engine(
+      {.parallel_grain = n / 16, .pool = threads > 1 ? &pool : nullptr});
+  std::vector<std::int32_t> out(a.size());
+  for (auto _ : state) {
+    engine.multiply_into(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SeaweedEngineThreads)->DenseRange(1, 4)->UseRealTime();
 
 void BM_NaiveMultiply(benchmark::State& state) {
   const std::int64_t n = state.range(0);

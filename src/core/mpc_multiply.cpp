@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "monge/engine.h"
 #include "monge/multiway.h"
 #include "monge/seaweed.h"
 #include "mpc/collectives.h"
@@ -559,7 +560,9 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
                                                           << k);
         pb[static_cast<std::size_t>(p.row)] = p.col;
       }
-      const auto pc = seaweed_multiply_raw(std::move(pa), std::move(pb));
+      // Machine-local solve on this worker thread's engine (arena reused
+      // across rounds; machines run concurrently on the cluster pool).
+      const auto pc = default_seaweed_engine().multiply_raw(pa, pb);
       for (std::int64_t r = 0; r < k; ++r) {
         c_out[static_cast<std::size_t>(i)].push_back(
             {leaf.offset[static_cast<std::size_t>(sub)] + r,

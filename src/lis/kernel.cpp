@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "monge/engine.h"
 #include "monge/subperm.h"
 #include "util/check.h"
 #include "util/fenwick.h"
@@ -10,7 +11,7 @@ namespace monge::lis {
 
 namespace {
 
-Perm kernel_rec(const std::vector<std::int32_t>& p) {
+Perm kernel_rec(const std::vector<std::int32_t>& p, SeaweedEngine& engine) {
   const auto n = static_cast<std::int64_t>(p.size());
   if (n == 0) return Perm(0, 0);
   if (n == 1) return Perm(1, 1);  // empty kernel: LIS of one element is 1
@@ -27,8 +28,8 @@ Perm kernel_rec(const std::vector<std::int32_t>& p) {
       p_hi.push_back(static_cast<std::int32_t>(v - mid));
     }
   }
-  const Perm k_lo = kernel_rec(p_lo);
-  const Perm k_hi = kernel_rec(p_hi);
+  const Perm k_lo = kernel_rec(p_lo, engine);
+  const Perm k_hi = kernel_rec(p_hi, engine);
 
   // Embed: A = K_lo at lo positions + identity at hi positions;
   //        B = identity at lo positions + K_hi at hi positions.
@@ -43,12 +44,16 @@ Perm kernel_rec(const std::vector<std::int32_t>& p) {
     b.set(hi_pos[static_cast<std::size_t>(pt.row)],
           hi_pos[static_cast<std::size_t>(pt.col)]);
   }
-  return subunit_multiply(a, b);
+  return subunit_multiply(a, b, engine);
 }
 
 }  // namespace
 
 Perm lis_kernel(std::span<const std::int32_t> perm) {
+  return lis_kernel(perm, default_seaweed_engine());
+}
+
+Perm lis_kernel(std::span<const std::int32_t> perm, SeaweedEngine& engine) {
   std::vector<std::int32_t> p(perm.begin(), perm.end());
   // Validate it is a permutation of [0, n).
   std::vector<bool> seen(p.size(), false);
@@ -58,7 +63,7 @@ Perm lis_kernel(std::span<const std::int32_t> perm) {
                     "lis_kernel requires a permutation of [0, n)");
     seen[static_cast<std::size_t>(v)] = true;
   }
-  return kernel_rec(p);
+  return kernel_rec(p, engine);
 }
 
 std::int64_t lis_from_kernel(const Perm& kernel) {
@@ -67,8 +72,9 @@ std::int64_t lis_from_kernel(const Perm& kernel) {
 
 std::int64_t kernel_window_lis(const Perm& kernel, std::int64_t l,
                                std::int64_t r) {
-  MONGE_CHECK(l >= 0 && r < kernel.rows());
+  // Empty windows (l > r, including r == -1) are legitimate and answer 0.
   if (l > r) return 0;
+  MONGE_CHECK(l >= 0 && r < kernel.rows());
   std::int64_t count = 0;
   for (std::int64_t row = l; row < kernel.rows(); ++row) {
     const std::int32_t c = kernel.col_of(row);
@@ -86,10 +92,9 @@ std::vector<std::int64_t> kernel_window_lis_batch(
   const std::int64_t n = kernel.rows();
   std::vector<std::vector<std::size_t>> by_l(static_cast<std::size_t>(n) + 1);
   for (std::size_t qi = 0; qi < windows.size(); ++qi) {
+    if (windows[qi].first > windows[qi].second) continue;  // empty: stays 0
     MONGE_CHECK(windows[qi].first >= 0 && windows[qi].second < n);
-    by_l[static_cast<std::size_t>(std::max<std::int64_t>(
-             windows[qi].first, 0))]
-        .push_back(qi);
+    by_l[static_cast<std::size_t>(windows[qi].first)].push_back(qi);
   }
   std::vector<std::int64_t> out(windows.size(), 0);
   Fenwick cols(n);

@@ -19,10 +19,19 @@
 
 #include "monge/permutation.h"
 
+namespace monge {
+class SeaweedEngine;
+}
+
 namespace monge::lis {
 
-/// Sequential kernel of a permutation (O(n log^2 n)).
+/// Sequential kernel of a permutation (O(n log^2 n)). Every merge runs on
+/// the thread-local default SeaweedEngine.
 Perm lis_kernel(std::span<const std::int32_t> perm);
+
+/// Same, but every subunit-Monge merge runs on the caller-provided engine
+/// (reusing its arena, and its thread pool if configured).
+Perm lis_kernel(std::span<const std::int32_t> perm, SeaweedEngine& engine);
 
 /// LIS of the whole permutation from its kernel: n − #points.
 std::int64_t lis_from_kernel(const Perm& kernel);

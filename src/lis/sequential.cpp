@@ -39,8 +39,10 @@ std::int64_t lis_length_dp(std::span<const std::int64_t> seq) {
 
 std::int64_t lis_window(std::span<const std::int64_t> seq, std::int64_t l,
                         std::int64_t r) {
-  MONGE_CHECK(l >= 0 && r < static_cast<std::int64_t>(seq.size()));
+  // Empty windows (l > r, including the r == -1 empty-sequence query) are
+  // legitimate and answer 0; only non-empty windows must be in range.
   if (l > r) return 0;
+  MONGE_CHECK(l >= 0 && r < static_cast<std::int64_t>(seq.size()));
   return lis_length(seq.subspan(static_cast<std::size_t>(l),
                                 static_cast<std::size_t>(r - l + 1)));
 }

@@ -1,0 +1,463 @@
+#include "monge/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace monge {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+constexpr std::size_t aligned_bytes(std::size_t b) {
+  return (b + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+template <typename T>
+constexpr std::size_t slot_bytes(std::int64_t count) {
+  return aligned_bytes(sizeof(T) * static_cast<std::size_t>(count));
+}
+
+/// Bump allocator over a caller-owned byte range. Allocations are 64-byte
+/// aligned; freeing is LIFO via mark()/rewind(). carve() splits off a
+/// disjoint sub-arena so a forked subproblem can allocate concurrently.
+class Arena {
+ public:
+  Arena(std::byte* base, std::size_t cap) : base_(base), cap_(cap) {}
+
+  template <typename T>
+  std::span<T> alloc(std::int64_t count) {
+    const std::size_t bytes = slot_bytes<T>(count);
+    MONGE_CHECK_MSG(used_ + bytes <= cap_,
+                    "seaweed engine arena overflow: need "
+                        << bytes << " bytes, " << (cap_ - used_) << " free");
+    T* p = reinterpret_cast<T*>(base_ + used_);
+    used_ += bytes;
+    return {p, static_cast<std::size_t>(count)};
+  }
+
+  std::size_t mark() const { return used_; }
+  void rewind(std::size_t mark) { used_ = mark; }
+
+  Arena carve(std::size_t bytes) {
+    MONGE_CHECK_MSG(used_ + bytes <= cap_,
+                    "seaweed engine arena overflow on fork");
+    Arena sub(base_ + used_, bytes);
+    used_ += bytes;
+    return sub;
+  }
+
+ private:
+  std::byte* base_;
+  std::size_t cap_;
+  std::size_t used_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sizing. These mirror the exact allocation sequence of base_case / mul_rec
+// below; Arena::alloc re-checks at runtime, so a mismatch throws instead of
+// corrupting memory. All sizes depend only on n (full permutations split
+// exactly m / n-m), so the budget is data-independent.
+// ---------------------------------------------------------------------------
+
+std::size_t base_case_bytes(std::int64_t n) {
+  return 3 * slot_bytes<std::int32_t>((n + 1) * (n + 1));
+}
+
+std::size_t split_scratch_bytes(std::int64_t n) {
+  return slot_bytes<std::int32_t>(n);
+}
+
+std::size_t combine_scratch_bytes(std::int64_t n) {
+  return 2 * slot_bytes<std::int32_t>(n) + slot_bytes<std::int32_t>(n + 1);
+}
+
+std::size_t persistent_bytes(std::int64_t m, std::int64_t h) {
+  // rows_lo/cols_lo/a_lo (m+1), rows_hi/cols_hi/a_hi (h+1), b_ranks (m+h);
+  // the +1s are slack slots for the branchless split writes.
+  return 3 * slot_bytes<std::int32_t>(m + 1) +
+         3 * slot_bytes<std::int32_t>(h + 1) + slot_bytes<std::int32_t>(m + h);
+}
+
+/// One top-level call's resolved options plus the per-size arena budget.
+/// `sizes` (owned by the engine, so it persists across calls) is fully
+/// populated for every reachable recursive size by the single-threaded
+/// node_bytes() call at the top level, after which forked workers only
+/// read it via node_bytes_cached().
+struct Plan {
+  std::int64_t cutoff;
+  std::int64_t grain;
+  ThreadPool* pool;
+  std::map<std::int64_t, std::size_t>& sizes;
+
+  bool fork(std::int64_t n) const {
+    return pool != nullptr && pool->thread_count() > 1 && n > grain;
+  }
+
+  std::size_t node_bytes(std::int64_t n) {
+    if (n <= 1) return 0;
+    if (n <= cutoff) return base_case_bytes(n);
+    if (const auto it = sizes.find(n); it != sizes.end()) return it->second;
+    const std::int64_t m = n / 2;
+    const std::int64_t h = n - m;
+    const std::size_t children = fork(n)
+                                     ? node_bytes(m) + node_bytes(h)
+                                     : std::max(node_bytes(m), node_bytes(h));
+    const std::size_t total =
+        persistent_bytes(m, h) +
+        std::max({split_scratch_bytes(n), combine_scratch_bytes(n), children});
+    sizes.emplace(n, total);
+    return total;
+  }
+
+  std::size_t node_bytes_cached(std::int64_t n) const {
+    if (n <= 1) return 0;
+    if (n <= cutoff) return base_case_bytes(n);
+    return sizes.at(n);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Base case: dense distribution-matrix (min,+) product, the arena version of
+// multiply_naive. O(n^3) arithmetic but branch-light and allocation-free,
+// which beats the recursion's per-node passes for small n.
+// ---------------------------------------------------------------------------
+
+/// dist(i, j) = #points with row >= i and col < j, row-major with stride w.
+void fill_dist(std::span<const std::int32_t> p, std::span<std::int32_t> dist,
+               std::int64_t w) {
+  const std::int64_t n = w - 1;
+  for (std::int64_t j = 0; j < w; ++j) dist[static_cast<std::size_t>(n * w + j)] = 0;
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    const std::int32_t c = p[static_cast<std::size_t>(i)];
+    const std::size_t row = static_cast<std::size_t>(i * w);
+    const std::size_t below = static_cast<std::size_t>((i + 1) * w);
+    for (std::int64_t j = 0; j <= c; ++j) {
+      dist[row + static_cast<std::size_t>(j)] =
+          dist[below + static_cast<std::size_t>(j)];
+    }
+    for (std::int64_t j = c + 1; j < w; ++j) {
+      dist[row + static_cast<std::size_t>(j)] =
+          dist[below + static_cast<std::size_t>(j)] + 1;
+    }
+  }
+}
+
+void base_case(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
+               std::span<std::int32_t> out, Arena& arena) {
+  const auto n = static_cast<std::int64_t>(a.size());
+  const std::int64_t w = n + 1;
+  const std::size_t mark = arena.mark();
+  auto da = arena.alloc<std::int32_t>(w * w);
+  auto db = arena.alloc<std::int32_t>(w * w);
+  auto dc = arena.alloc<std::int32_t>(w * w);
+  fill_dist(a, da, w);
+  fill_dist(b, db, w);
+  for (std::int64_t i = 0; i < w; ++i) {
+    const std::size_t ai = static_cast<std::size_t>(i * w);
+    for (std::int64_t k = 0; k < w; ++k) {
+      std::int32_t best = da[ai] + db[static_cast<std::size_t>(k)];
+      for (std::int64_t j = 1; j < w; ++j) {
+        best = std::min(best, da[ai + static_cast<std::size_t>(j)] +
+                                  db[static_cast<std::size_t>(j * w + k)]);
+      }
+      dc[ai + static_cast<std::size_t>(k)] = best;
+    }
+  }
+  // Extract the product permutation from the cross-differences; for full
+  // permutations every row holds exactly one point.
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::size_t row = static_cast<std::size_t>(r * w);
+    const std::size_t below = static_cast<std::size_t>((r + 1) * w);
+    for (std::int64_t c = 0; c < n; ++c) {
+      const std::int32_t v = dc[row + static_cast<std::size_t>(c) + 1] -
+                             dc[below + static_cast<std::size_t>(c) + 1] -
+                             dc[row + static_cast<std::size_t>(c)] +
+                             dc[below + static_cast<std::size_t>(c)];
+      MONGE_DCHECK(v == 0 || v == 1);
+      if (v == 1) {
+        out[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(c);
+        break;
+      }
+    }
+  }
+  arena.rewind(mark);
+}
+
+// ---------------------------------------------------------------------------
+// The steady-ant combine into caller-provided scratch (same walk as
+// steady_ant.cpp). Points are packed as (coord << 1) | color in one int32:
+// `row_pk[r]` holds the column+color of row r's point, `col_pk[c]` the
+// row+color of column c's point; this halves the loads in the walk. The
+// "interesting" cells (strict drops of t) are emitted during the walk
+// itself; the second pass only resolves the surviving non-interesting rows.
+// ---------------------------------------------------------------------------
+
+void steady_ant_into(std::span<const std::int32_t> row_pk,
+                     std::span<std::int32_t> col_pk, std::span<std::int32_t> t,
+                     std::span<std::int32_t> out) {
+  const auto n = static_cast<std::int64_t>(row_pk.size());
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int32_t pk = row_pk[static_cast<std::size_t>(r)];
+    const std::int32_t c = pk >> 1;
+    MONGE_DCHECK(c >= 0 && c < n);
+    col_pk[static_cast<std::size_t>(c)] =
+        static_cast<std::int32_t>((r << 1) | (pk & 1));
+  }
+#ifndef NDEBUG
+  std::fill(out.begin(), out.end(), kNone);
+#endif
+  std::int64_t i = n;
+  std::int64_t delta = 0;
+  t[0] = static_cast<std::int32_t>(n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int32_t pk = col_pk[static_cast<std::size_t>(j)];
+    const std::int32_t pr = pk >> 1;
+    delta += (pk & 1) == 0 ? (pr >= i ? 1 : 0) : (pr < i ? 1 : 0);
+    const std::int64_t prev = i;
+    while (delta > 0) {
+      MONGE_DCHECK(i > 0);
+      --i;
+      const std::int32_t qk = row_pk[static_cast<std::size_t>(i)];
+      const std::int32_t qc = qk >> 1;
+      delta -= (qk & 1) == 0 ? (qc >= j + 1 ? 1 : 0) : (qc < j + 1 ? 1 : 0);
+    }
+    t[static_cast<std::size_t>(j) + 1] = static_cast<std::int32_t>(i);
+    if (i < prev) {
+      // Interesting cell (Lemma 3.9): t drops strictly at column j.
+      MONGE_DCHECK(out[static_cast<std::size_t>(i)] == kNone);
+      out[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(j);
+    }
+  }
+  // Every other cell: PC(r,c) = PC,e(r,c) with e = opt(r+1, c+1).
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int32_t pk = row_pk[static_cast<std::size_t>(r)];
+    const std::int64_t c = pk >> 1;
+    if (r == t[static_cast<std::size_t>(c) + 1] &&
+        r + 1 <= t[static_cast<std::size_t>(c)]) {
+      continue;  // interesting cell, already placed during the walk
+    }
+    const std::int32_t e = (r + 1 <= t[static_cast<std::size_t>(c) + 1]) ? 0 : 1;
+    if ((pk & 1) == e) {
+      MONGE_DCHECK(out[static_cast<std::size_t>(r)] == kNone);
+      out[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(c);
+    }
+  }
+#ifndef NDEBUG
+  for (std::int64_t r = 0; r < n; ++r) {
+    MONGE_DCHECK(out[static_cast<std::size_t>(r)] != kNone);
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// The recursion.
+// ---------------------------------------------------------------------------
+
+/// The recursion. `out` receives the product; it may alias `a` (all reads
+/// of `a` happen in the split phase, all writes to `out` in the combine) —
+/// the recursive calls exploit this by writing each child's result over
+/// that child's input, so no separate result buffers exist.
+void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
+             std::span<std::int32_t> out, Arena& arena, const Plan& plan) {
+  const auto n = static_cast<std::int64_t>(a.size());
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = 0;
+    return;
+  }
+  if (n <= plan.cutoff) {
+    base_case(a, b, out, arena);
+    return;
+  }
+
+  const std::int64_t m = n / 2;
+  const std::int64_t h = n - m;
+  const std::size_t frame = arena.mark();
+
+  // Persistent node state, live across the recursive calls. a_lo/a_hi hold
+  // the compacted PA halves and are overwritten by the children with their
+  // results; b_ranks holds b_lo then b_hi, written by one exact scatter.
+  // The split loops below are branchless — both sides' targets are written
+  // unconditionally and the cursor of the non-matching side stays put —
+  // which is why each cursor-written list carries one slack slot.
+  auto rows_lo = arena.alloc<std::int32_t>(m + 1);
+  auto cols_lo = arena.alloc<std::int32_t>(m + 1);
+  auto a_lo_buf = arena.alloc<std::int32_t>(m + 1);
+  auto rows_hi = arena.alloc<std::int32_t>(h + 1);
+  auto cols_hi = arena.alloc<std::int32_t>(h + 1);
+  auto a_hi_buf = arena.alloc<std::int32_t>(h + 1);
+  auto b_ranks = arena.alloc<std::int32_t>(n);
+  const auto a_lo = a_lo_buf.first(static_cast<std::size_t>(m));
+  const auto a_hi = a_hi_buf.first(static_cast<std::size_t>(h));
+  const auto b_lo = b_ranks.subspan(0, static_cast<std::size_t>(m));
+  const auto b_hi =
+      b_ranks.subspan(static_cast<std::size_t>(m), static_cast<std::size_t>(h));
+
+  // Split PA by columns into [0,m) / [m,n); compact by deleting empty rows.
+  // A full permutation sends exactly m rows to the lo half.
+  {
+    std::int64_t la = 0, lb = 0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      const std::int32_t c = a[static_cast<std::size_t>(r)];
+      const bool is_lo = c < m;
+      a_lo_buf[static_cast<std::size_t>(la)] = c;
+      rows_lo[static_cast<std::size_t>(la)] = static_cast<std::int32_t>(r);
+      a_hi_buf[static_cast<std::size_t>(lb)] = static_cast<std::int32_t>(c - m);
+      rows_hi[static_cast<std::size_t>(lb)] = static_cast<std::int32_t>(r);
+      la += is_lo;
+      lb += !is_lo;
+    }
+    MONGE_DCHECK(la == m && lb == h);
+  }
+
+  // Split PB by rows; compact by deleting empty columns, relabelling each
+  // surviving column by its rank. One inverse pass, then one fused scan in
+  // column order that emits the column maps and both compacted inputs.
+  {
+    const std::size_t scratch = arena.mark();
+    auto b_inv = arena.alloc<std::int32_t>(n);
+    for (std::int64_t r = 0; r < n; ++r) {
+      b_inv[static_cast<std::size_t>(b[static_cast<std::size_t>(r)])] =
+          static_cast<std::int32_t>(r);
+    }
+    std::int64_t lo = 0, hi = 0;
+    for (std::int64_t c = 0; c < n; ++c) {
+      const std::int32_t r = b_inv[static_cast<std::size_t>(c)];
+      const bool is_lo = r < m;
+      cols_lo[static_cast<std::size_t>(lo)] = static_cast<std::int32_t>(c);
+      cols_hi[static_cast<std::size_t>(hi)] = static_cast<std::int32_t>(c);
+      b_ranks[static_cast<std::size_t>(r)] =
+          static_cast<std::int32_t>(is_lo ? lo : hi);
+      lo += is_lo;
+      hi += !is_lo;
+    }
+    MONGE_DCHECK(lo == m && hi == h);
+    arena.rewind(scratch);
+  }
+
+  // Recurse, each child writing its result over its own input; the
+  // subproblems are independent, so above the grain size they run
+  // concurrently on disjoint arena slices.
+  if (plan.fork(n)) {
+    const std::size_t mark = arena.mark();
+    Arena lo_arena = arena.carve(plan.node_bytes_cached(m));
+    Arena hi_arena = arena.carve(plan.node_bytes_cached(h));
+    plan.pool->invoke_two(
+        [&] { mul_rec(a_lo, b_lo, a_lo, lo_arena, plan); },
+        [&] { mul_rec(a_hi, b_hi, a_hi, hi_arena, plan); });
+    arena.rewind(mark);
+  } else {
+    mul_rec(a_lo, b_lo, a_lo, arena, plan);
+    mul_rec(a_hi, b_hi, a_hi, arena, plan);
+  }
+
+  // Expand both results back to the n×n grid (a full colored permutation,
+  // packed as (col << 1) | color per row) and combine with the steady ant.
+  {
+    const std::size_t scratch = arena.mark();
+    auto row_pk = arena.alloc<std::int32_t>(n);
+    auto col_pk = arena.alloc<std::int32_t>(n);
+    auto t = arena.alloc<std::int32_t>(n + 1);
+    for (std::int64_t i = 0; i < m; ++i) {
+      row_pk[static_cast<std::size_t>(rows_lo[static_cast<std::size_t>(i)])] =
+          cols_lo[static_cast<std::size_t>(a_lo[static_cast<std::size_t>(i)])]
+          << 1;
+    }
+    for (std::int64_t i = 0; i < h; ++i) {
+      row_pk[static_cast<std::size_t>(rows_hi[static_cast<std::size_t>(i)])] =
+          (cols_hi[static_cast<std::size_t>(a_hi[static_cast<std::size_t>(i)])]
+           << 1) |
+          1;
+    }
+    steady_ant_into(row_pk, col_pk, t, out);
+    arena.rewind(scratch);
+  }
+  arena.rewind(frame);
+}
+
+#ifndef NDEBUG
+void dcheck_full_permutation(std::span<const std::int32_t> p) {
+  const auto n = static_cast<std::int64_t>(p.size());
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (std::int32_t v : p) {
+    MONGE_DCHECK(v >= 0 && v < n && !seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+#endif
+
+}  // namespace
+
+SeaweedEngine::SeaweedEngine(SeaweedEngineOptions options)
+    : options_(options) {
+  // The upper clamp keeps the O(cutoff^3) dense base case from dominating
+  // when a caller passes something absurd (the sweet spot is ~4-16).
+  options_.base_case_cutoff =
+      std::clamp<std::int64_t>(options_.base_case_cutoff, 1, 256);
+  options_.parallel_grain = std::max<std::int64_t>(options_.parallel_grain, 2);
+}
+
+std::size_t SeaweedEngine::arena_bytes_for(std::int64_t n) const {
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  return plan.node_bytes(n);
+}
+
+void SeaweedEngine::multiply_into(std::span<const std::int32_t> a,
+                                  std::span<const std::int32_t> b,
+                                  std::span<std::int32_t> out) {
+  MONGE_CHECK(a.size() == b.size() && out.size() == a.size());
+  MONGE_CHECK_MSG(a.size() <= (1u << 30),
+                  "SeaweedEngine packs (col, color) into one int32 and "
+                  "supports n up to 2^30");
+#ifndef NDEBUG
+  dcheck_full_permutation(a);
+  dcheck_full_permutation(b);
+#endif
+  const auto n = static_cast<std::int64_t>(a.size());
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = 0;
+    return;
+  }
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  const std::size_t required = plan.node_bytes(n);
+  if (buffer_.size() < required + kAlign) {
+    // The arena never carries state between calls, so grow without copying
+    // the old scratch bytes.
+    buffer_.clear();
+    buffer_.resize(required + kAlign);
+  }
+  auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
+  const std::size_t shift = (kAlign - base % kAlign) % kAlign;
+  Arena arena(buffer_.data() + shift, buffer_.size() - shift);
+  mul_rec(a, b, out, arena, plan);
+}
+
+std::vector<std::int32_t> SeaweedEngine::multiply_raw(
+    std::span<const std::int32_t> a, std::span<const std::int32_t> b) {
+  std::vector<std::int32_t> out(a.size());
+  multiply_into(a, b, out);
+  return out;
+}
+
+Perm SeaweedEngine::multiply(const Perm& a, const Perm& b) {
+  MONGE_CHECK_MSG(a.is_full_permutation() && b.is_full_permutation(),
+                  "SeaweedEngine::multiply requires full permutations (use "
+                  "subunit_multiply for sub-permutations)");
+  MONGE_CHECK(a.cols() == b.rows());
+  return Perm::from_rows(multiply_raw(a.row_to_col(), b.row_to_col()),
+                         b.cols());
+}
+
+SeaweedEngine& default_seaweed_engine() {
+  thread_local SeaweedEngine engine;
+  return engine;
+}
+
+}  // namespace monge

@@ -1,0 +1,96 @@
+// Arena-backed sequential/parallel seaweed multiplication engine.
+//
+// SeaweedEngine runs Tiskin's divide-and-conquer unit-Monge multiplication
+// (the same split/compact/combine recursion as seaweed.h) over index ranges
+// into a flat scratch arena that is sized exactly once per top-level call:
+// after the first multiply of a given size the recursion performs zero heap
+// allocations. Below a configurable cutoff it switches to a dense
+// distribution-matrix base case (the arena version of multiply_naive), and
+// above a configurable grain size it forks the two independent lo/hi
+// subproblems onto a ThreadPool (fork-join with caller work-helping, so
+// nested forks cannot deadlock). The result is bit-identical to
+// seaweed_multiply_reference_raw for every input: PA ⊡ PB is unique and
+// both paths implement the same combine.
+//
+// Knobs (SeaweedEngineOptions):
+//   * base_case_cutoff — subproblems of size <= cutoff are solved by the
+//     dense (min,+) base case instead of recursing. The dense solve is
+//     O(k^3) but branch-light and allocation-free, so it wins for small k;
+//     the default is tuned on bench/seq_multiply (see README). Set to 1 to
+//     force the pure recursion (useful in tests). Clamped to [1, 256] —
+//     the cubic base case turns pathological far below that bound.
+//   * parallel_grain — subproblems larger than this fork their lo/hi
+//     halves onto the pool; smaller ones run sequentially on the calling
+//     thread. Scheduling never affects results (subproblems write disjoint
+//     arena slices), only wall-clock.
+//   * pool — optional ThreadPool; nullptr means fully sequential. The
+//     engine never owns the pool.
+//
+// An engine instance is NOT thread-safe (it owns one arena); use one
+// engine per thread. default_seaweed_engine() returns a thread-local
+// sequential instance whose arena is reused across calls — this is what
+// the seaweed_multiply_raw / subunit_multiply wrappers use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "monge/permutation.h"
+
+namespace monge {
+
+class ThreadPool;
+
+struct SeaweedEngineOptions {
+  std::int64_t base_case_cutoff = 8;
+  std::int64_t parallel_grain = 1 << 13;
+  ThreadPool* pool = nullptr;
+};
+
+class SeaweedEngine {
+ public:
+  explicit SeaweedEngine(SeaweedEngineOptions options = {});
+
+  SeaweedEngine(const SeaweedEngine&) = delete;
+  SeaweedEngine& operator=(const SeaweedEngine&) = delete;
+
+  /// PC = PA ⊡ PB on raw row->col index arrays; both inputs must be full
+  /// permutations of [0, n) (validated in debug builds only).
+  std::vector<std::int32_t> multiply_raw(std::span<const std::int32_t> a,
+                                         std::span<const std::int32_t> b);
+
+  /// Allocation-free variant: writes the product into `out` (size n).
+  void multiply_into(std::span<const std::int32_t> a,
+                     std::span<const std::int32_t> b,
+                     std::span<std::int32_t> out);
+
+  /// Validating Perm wrapper (full permutations only).
+  Perm multiply(const Perm& a, const Perm& b);
+
+  const SeaweedEngineOptions& options() const { return options_; }
+
+  /// Current arena capacity in bytes (grows monotonically; for tests and
+  /// benchmarks).
+  std::size_t arena_capacity() const { return buffer_.size(); }
+
+  /// Exact number of scratch bytes a multiply of size n will reserve.
+  std::size_t arena_bytes_for(std::int64_t n) const;
+
+ private:
+  SeaweedEngineOptions options_;
+  std::vector<std::byte> buffer_;
+  /// Per-size arena budgets, memoized across calls (options are fixed at
+  /// construction, so entries never go stale). Mutated only by the owning
+  /// thread; forked workers read it through a const Plan.
+  mutable std::map<std::int64_t, std::size_t> size_cache_;
+};
+
+/// Thread-local sequential engine with a persistent arena; backs the
+/// seaweed_multiply_raw / subunit_multiply compatibility wrappers and the
+/// MPC simulator's machine-local solves.
+SeaweedEngine& default_seaweed_engine();
+
+}  // namespace monge

@@ -1,5 +1,6 @@
 #include "monge/seaweed.h"
 
+#include "monge/engine.h"
 #include "monge/steady_ant.h"
 #include "util/check.h"
 
@@ -89,8 +90,14 @@ std::vector<std::int32_t> mul_rec(const std::vector<std::int32_t>& a,
 
 }  // namespace
 
-std::vector<std::int32_t> seaweed_multiply_raw(std::vector<std::int32_t> a,
-                                               std::vector<std::int32_t> b) {
+std::vector<std::int32_t> seaweed_multiply_raw(
+    std::span<const std::int32_t> a, std::span<const std::int32_t> b) {
+  MONGE_CHECK(a.size() == b.size());
+  return default_seaweed_engine().multiply_raw(a, b);
+}
+
+std::vector<std::int32_t> seaweed_multiply_reference_raw(
+    const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b) {
   MONGE_CHECK(a.size() == b.size());
   return mul_rec(a, b);
 }

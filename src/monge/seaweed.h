@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "monge/permutation.h"
@@ -19,8 +20,16 @@
 namespace monge {
 
 /// Raw variant on index arrays (both inputs full permutations of [0,n)).
-std::vector<std::int32_t> seaweed_multiply_raw(
-    std::vector<std::int32_t> a, std::vector<std::int32_t> b);
+/// Runs on the thread-local SeaweedEngine (see monge/engine.h): arena-backed
+/// and allocation-free (beyond the result) after the first call of a given
+/// size.
+std::vector<std::int32_t> seaweed_multiply_raw(std::span<const std::int32_t> a,
+                                               std::span<const std::int32_t> b);
+
+/// The textbook recursion (one fresh std::vector per node), kept as the
+/// reference baseline the engine is fuzzed and benchmarked against.
+std::vector<std::int32_t> seaweed_multiply_reference_raw(
+    const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b);
 
 /// PC = PA ⊡ PB for full permutations (validating wrapper).
 Perm seaweed_multiply(const Perm& a, const Perm& b);

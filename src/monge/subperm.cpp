@@ -1,11 +1,16 @@
 #include "monge/subperm.h"
 
+#include "monge/engine.h"
 #include "monge/seaweed.h"
 #include "util/check.h"
 
 namespace monge {
 
 Perm subunit_multiply(const Perm& a, const Perm& b) {
+  return subunit_multiply(a, b, default_seaweed_engine());
+}
+
+Perm subunit_multiply(const Perm& a, const Perm& b, SeaweedEngine& engine) {
   MONGE_CHECK_MSG(a.cols() == b.rows(), "inner dimensions disagree: "
                                             << a.cols() << " vs " << b.rows());
   const std::int64_t n2 = a.cols();
@@ -73,8 +78,7 @@ Perm subunit_multiply(const Perm& a, const Perm& b) {
   }
 
   // Step 3: multiply and extract the bottom-left n1×n3 block.
-  const std::vector<std::int32_t> pc =
-      seaweed_multiply_raw(std::move(pa), std::move(pb));
+  const std::vector<std::int32_t> pc = engine.multiply_raw(pa, pb);
   const std::int64_t shift = n2 - n1;
   for (std::int64_t r = shift; r < n2; ++r) {
     const std::int32_t c = pc[static_cast<std::size_t>(r)];

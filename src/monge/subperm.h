@@ -17,8 +17,15 @@
 
 namespace monge {
 
+class SeaweedEngine;
+
 /// PC = PA ⊡ PB for sub-permutations (Lemma 2.2 guarantees PC exists and is
-/// a sub-permutation). O((n2) log(n2)) on top of the compaction.
+/// a sub-permutation). O((n2) log(n2)) on top of the compaction. Runs on
+/// the thread-local default SeaweedEngine.
 Perm subunit_multiply(const Perm& a, const Perm& b);
+
+/// Same, but on a caller-provided engine (reusing its arena, and its thread
+/// pool if configured).
+Perm subunit_multiply(const Perm& a, const Perm& b, SeaweedEngine& engine);
 
 }  // namespace monge

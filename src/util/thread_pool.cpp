@@ -42,6 +42,75 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::invoke_two(const std::function<void()>& a,
+                            const std::function<void()>& b) {
+  if (thread_count() <= 1) {
+    a();
+    b();
+    return;
+  }
+
+  // `b` and the join state are captured by reference: invoke_two never
+  // returns before the enqueued task completes (the join loop below holds
+  // until `done`, on every path), so the caller's frame outlives the task.
+  struct Join {
+    bool done = false;
+    std::exception_ptr error;
+  };
+  Join join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push([this, &join, &b] {
+      std::exception_ptr error;
+      try {
+        b();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> inner(mu_);
+        join.error = error;
+        join.done = true;
+      }
+      cv_.notify_all();
+    });
+  }
+  cv_.notify_one();
+
+  std::exception_ptr error_a;
+  try {
+    a();
+  } catch (...) {
+    error_a = std::current_exception();
+  }
+
+  // Join: drain queued tasks (ours or anybody's) while `b` is pending. This
+  // guarantees progress even when every worker is itself blocked in a
+  // nested invoke_two. A helped task that throws must not abort the join —
+  // returning with `b` still queued would dangle the captured references —
+  // so its exception is held until `b` has completed.
+  std::exception_ptr error_helped;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return join.done || !tasks_.empty(); });
+      if (join.done) break;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      if (!error_helped) error_helped = std::current_exception();
+    }
+  }
+
+  if (error_a) std::rethrow_exception(error_a);
+  if (join.error) std::rethrow_exception(join.error);
+  if (error_helped) std::rethrow_exception(error_helped);
+}
+
 void ThreadPool::parallel_for(std::int64_t n,
                               const std::function<void(std::int64_t)>& fn) {
   if (n <= 0) return;

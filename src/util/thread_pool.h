@@ -32,6 +32,15 @@ class ThreadPool {
   /// by fn are rethrown (first one wins) on the calling thread.
   void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
+  /// Fork-join: runs `a` and `b`, potentially concurrently, returning once
+  /// both finished. `b` is offered to the pool while the caller runs `a`
+  /// inline; while joining, the caller helps execute queued tasks instead of
+  /// blocking, so invoke_two may be nested arbitrarily (including from
+  /// worker threads) without deadlock. If `a` throws it is rethrown first,
+  /// otherwise `b`'s exception is rethrown.
+  void invoke_two(const std::function<void()>& a,
+                  const std::function<void()>& b);
+
  private:
   void worker_loop();
 

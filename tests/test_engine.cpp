@@ -1,0 +1,179 @@
+#include "monge/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "lis/kernel.h"
+#include "monge/distribution.h"
+#include "monge/seaweed.h"
+#include "monge/subperm.h"
+#include "testing.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace monge {
+namespace {
+
+using testing::all_permutations;
+
+std::vector<std::int32_t> random_raw_perm(std::int64_t n, Rng& rng) {
+  return rng.permutation(n);
+}
+
+TEST(SeaweedEngine, ExhaustiveSmallPermutations) {
+  for (const std::int64_t cutoff : {1, 2, 3, 8}) {
+    SeaweedEngine engine({.base_case_cutoff = cutoff});
+    for (int n = 1; n <= 5; ++n) {
+      const auto perms = all_permutations(n);
+      for (const auto& pa : perms) {
+        for (const auto& pb : perms) {
+          const Perm a = Perm::from_rows(pa, n);
+          const Perm b = Perm::from_rows(pb, n);
+          ASSERT_EQ(engine.multiply(a, b), multiply_naive(a, b))
+              << "n=" << n << " cutoff=" << cutoff;
+        }
+      }
+    }
+  }
+}
+
+// Randomized equivalence fuzz across sizes straddling the base-case cutoff:
+// the engine must agree with the naive oracle and be bit-identical to the
+// legacy recursion for every cutoff choice.
+TEST(SeaweedEngine, EquivalenceFuzzAcrossCutoffs) {
+  Rng rng(20240518);
+  for (const std::int64_t cutoff : {1, 4, 16, 32, 64}) {
+    SeaweedEngine engine({.base_case_cutoff = cutoff});
+    for (const std::int64_t n :
+         {2, 3, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 127, 128, 129}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto a = random_raw_perm(n, rng);
+        const auto b = random_raw_perm(n, rng);
+        const auto got = engine.multiply_raw(a, b);
+        const auto ref = seaweed_multiply_reference_raw(a, b);
+        ASSERT_EQ(got, ref) << "n=" << n << " cutoff=" << cutoff;
+        const Perm pa = Perm::from_rows(a, n);
+        const Perm pb = Perm::from_rows(b, n);
+        ASSERT_EQ(Perm::from_rows(got, n), multiply_naive(pa, pb))
+            << "n=" << n << " cutoff=" << cutoff;
+      }
+    }
+  }
+}
+
+TEST(SeaweedEngine, BitIdenticalToReferenceLargerSizes) {
+  Rng rng(7);
+  SeaweedEngine engine;
+  for (const std::int64_t n : {255, 256, 257, 777, 1024, 2048}) {
+    const auto a = random_raw_perm(n, rng);
+    const auto b = random_raw_perm(n, rng);
+    ASSERT_EQ(engine.multiply_raw(a, b), seaweed_multiply_reference_raw(a, b))
+        << "n=" << n;
+  }
+}
+
+TEST(SeaweedEngine, EmptyAndTiny) {
+  SeaweedEngine engine;
+  EXPECT_TRUE(engine.multiply_raw({}, {}).empty());
+  EXPECT_EQ(engine.multiply_raw(std::vector<std::int32_t>{0},
+                                std::vector<std::int32_t>{0}),
+            (std::vector<std::int32_t>{0}));
+}
+
+// The arena is sized once: repeating a multiply of the same (or smaller)
+// size must not grow the buffer.
+TEST(SeaweedEngine, ArenaIsReusedAcrossCalls) {
+  Rng rng(11);
+  SeaweedEngine engine;
+  const auto a = random_raw_perm(1024, rng);
+  const auto b = random_raw_perm(1024, rng);
+  const auto first = engine.multiply_raw(a, b);
+  const std::size_t cap = engine.arena_capacity();
+  EXPECT_GE(cap, engine.arena_bytes_for(1024));
+  for (const std::int64_t n : {1024, 512, 100}) {
+    const auto pa = random_raw_perm(n, rng);
+    const auto pb = random_raw_perm(n, rng);
+    ASSERT_EQ(engine.multiply_raw(pa, pb),
+              seaweed_multiply_reference_raw(pa, pb));
+  }
+  EXPECT_EQ(engine.arena_capacity(), cap);
+  EXPECT_EQ(engine.multiply_raw(a, b), first);
+}
+
+TEST(SeaweedEngine, MultiplyIntoWritesCallerBuffer) {
+  Rng rng(13);
+  SeaweedEngine engine;
+  const auto a = random_raw_perm(300, rng);
+  const auto b = random_raw_perm(300, rng);
+  std::vector<std::int32_t> out(300, kNone);
+  engine.multiply_into(a, b, out);
+  EXPECT_EQ(out, seaweed_multiply_reference_raw(a, b));
+}
+
+// Determinism: the forked execution must produce the exact same bits for
+// every thread count and grain size (subproblems write disjoint arena
+// slices, so scheduling cannot leak into results).
+TEST(SeaweedEngine, DeterministicUnderThreadCounts) {
+  Rng rng(42);
+  const std::int64_t n = 4096;
+  const auto a = random_raw_perm(n, rng);
+  const auto b = random_raw_perm(n, rng);
+  const auto ref = seaweed_multiply_reference_raw(a, b);
+  for (const unsigned threads : {1u, 2u, 3u, 4u}) {
+    ThreadPool pool(threads);
+    for (const std::int64_t grain : {64, 256, 1024}) {
+      SeaweedEngine engine(
+          {.parallel_grain = grain, .pool = &pool});
+      ASSERT_EQ(engine.multiply_raw(a, b), ref)
+          << "threads=" << threads << " grain=" << grain;
+      // Repeat on the warm arena: still identical.
+      ASSERT_EQ(engine.multiply_raw(a, b), ref)
+          << "threads=" << threads << " grain=" << grain;
+    }
+  }
+}
+
+// Nested invoke_two from pool workers must not deadlock even when the
+// fork tree is much deeper than the worker count.
+TEST(ThreadPool, InvokeTwoNestedFork) {
+  ThreadPool pool(2);
+  std::function<std::int64_t(std::int64_t, std::int64_t)> sum =
+      [&](std::int64_t lo, std::int64_t hi) -> std::int64_t {
+    if (hi - lo <= 1) return lo;
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    std::int64_t left = 0, right = 0;
+    pool.invoke_two([&] { left = sum(lo, mid); },
+                    [&] { right = sum(mid, hi); });
+    return left + right;
+  };
+  EXPECT_EQ(sum(0, 1024), 1024 * 1023 / 2);
+}
+
+TEST(ThreadPool, InvokeTwoPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.invoke_two([] { throw std::runtime_error("a"); }, [] {}),
+      std::runtime_error);
+  EXPECT_THROW(
+      pool.invoke_two([] {}, [] { throw std::runtime_error("b"); }),
+      std::runtime_error);
+}
+
+TEST(SeaweedEngine, SubunitMultiplyOverload) {
+  Rng rng(99);
+  SeaweedEngine engine;
+  for (int rep = 0; rep < 10; ++rep) {
+    const Perm a = Perm::random_sub(40, 30, 18, rng);
+    const Perm b = Perm::random_sub(30, 50, 21, rng);
+    ASSERT_EQ(subunit_multiply(a, b, engine), multiply_naive(a, b));
+  }
+}
+
+TEST(SeaweedEngine, LisKernelOverload) {
+  Rng rng(123);
+  SeaweedEngine engine;
+  const auto p = rng.permutation(200);
+  EXPECT_EQ(lis::lis_kernel(p, engine), lis::lis_kernel(p));
+}
+
+}  // namespace
+}  // namespace monge

@@ -62,6 +62,29 @@ TEST(LisKernel, ExhaustiveSmallPermutations) {
   }
 }
 
+TEST(LisWindow, EmptyWindowsAnswerZero) {
+  // Empty windows (l > r) are legitimate queries and answer 0, even when
+  // their endpoints fall outside [0, n): the r == -1 query on an empty
+  // sequence, and off-the-end sliding windows.
+  const std::vector<std::int64_t> empty;
+  EXPECT_EQ(lis_window(empty, 0, -1), 0);
+  const std::vector<std::int64_t> seq = {3, 1, 2};
+  EXPECT_EQ(lis_window(seq, 0, -1), 0);
+  EXPECT_EQ(lis_window(seq, 2, 1), 0);
+  EXPECT_EQ(lis_window(seq, 5, 4), 0);
+  EXPECT_THROW(lis_window(seq, 1, 3), std::logic_error);  // non-empty, OOB
+
+  const Perm kernel = lis_kernel(std::vector<std::int32_t>{2, 0, 1});
+  EXPECT_EQ(kernel_window_lis(kernel, 0, -1), 0);
+  EXPECT_EQ(kernel_window_lis(kernel, 5, 4), 0);
+  const std::vector<std::pair<std::int64_t, std::int64_t>> windows = {
+      {0, 2}, {0, -1}, {5, 4}, {1, 2}};
+  const auto batch = kernel_window_lis_batch(kernel, windows);
+  EXPECT_EQ(batch[1], 0);
+  EXPECT_EQ(batch[2], 0);
+  EXPECT_EQ(batch[0], lis_window(to64({2, 0, 1}), 0, 2));
+}
+
 class KernelRandom : public ::testing::TestWithParam<std::int64_t> {};
 
 TEST_P(KernelRandom, WindowsMatchOracle) {
