@@ -8,6 +8,7 @@
 #include "monge/engine.h"
 #include "monge/seaweed.h"
 #include "monge/steady_ant.h"
+#include "monge/subperm.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -94,6 +95,141 @@ void BM_SeaweedEngineThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SeaweedEngineThreads)->DenseRange(1, 4)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Batched engine leaf solves: one recursion level's worth of MPC leaves
+// (64 independent G-sized products) as a single multiply_batch_into call
+// vs 64 independent multiply_raw calls on an equally warm engine. The
+// batch pays one arena sizing and zero per-leaf output allocations.
+// ---------------------------------------------------------------------------
+
+struct LeafBatch {
+  std::vector<std::int32_t> pa, pb, pc;
+  std::vector<PermPairView> views;
+  std::vector<std::span<std::int32_t>> outs;
+};
+
+LeafBatch make_leaf_batch(std::int64_t g, std::int64_t pairs, Rng& rng) {
+  LeafBatch batch;
+  batch.pa.reserve(static_cast<std::size_t>(g * pairs));
+  batch.pb.reserve(static_cast<std::size_t>(g * pairs));
+  batch.pc.resize(static_cast<std::size_t>(g * pairs));
+  for (std::int64_t t = 0; t < pairs; ++t) {
+    const auto a = rng.permutation(g);
+    const auto b = rng.permutation(g);
+    batch.pa.insert(batch.pa.end(), a.begin(), a.end());
+    batch.pb.insert(batch.pb.end(), b.begin(), b.end());
+  }
+  for (std::int64_t t = 0; t < pairs; ++t) {
+    const auto off = static_cast<std::size_t>(t * g);
+    const auto len = static_cast<std::size_t>(g);
+    batch.views.push_back(
+        {std::span<const std::int32_t>(batch.pa).subspan(off, len),
+         std::span<const std::int32_t>(batch.pb).subspan(off, len)});
+    batch.outs.push_back(std::span<std::int32_t>(batch.pc).subspan(off, len));
+  }
+  return batch;
+}
+
+void BM_SeaweedEngineLeafBatch(benchmark::State& state) {
+  const std::int64_t g = state.range(0);
+  const std::int64_t pairs = 64;
+  Rng rng(5);
+  LeafBatch batch = make_leaf_batch(g, pairs, rng);
+  SeaweedEngine engine;
+  for (auto _ : state) {
+    engine.multiply_batch_into(batch.views, batch.outs);
+    benchmark::DoNotOptimize(batch.pc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_SeaweedEngineLeafBatch)->Arg(64)->Arg(256)->Arg(1024);
+
+// N independent multiply_raw calls on a warm shared engine (the arena is
+// already sized; each call still pays its own size-cache lookup and output
+// allocation).
+void BM_SeaweedEngineLeafSingles(benchmark::State& state) {
+  const std::int64_t g = state.range(0);
+  const std::int64_t pairs = 64;
+  Rng rng(5);
+  LeafBatch batch = make_leaf_batch(g, pairs, rng);
+  SeaweedEngine engine;
+  for (auto _ : state) {
+    for (std::int64_t t = 0; t < pairs; ++t) {
+      benchmark::DoNotOptimize(engine.multiply_raw(
+          batch.views[static_cast<std::size_t>(t)].first,
+          batch.views[static_cast<std::size_t>(t)].second));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_SeaweedEngineLeafSingles)->Arg(64)->Arg(256)->Arg(1024);
+
+// N independent multiply_raw calls, each paying its own arena sizing (a
+// fresh engine per call: size-budget recursion, buffer allocation and
+// zeroing) — the per-leaf cost shape the batch API removes.
+void BM_SeaweedEngineLeafSinglesColdArena(benchmark::State& state) {
+  const std::int64_t g = state.range(0);
+  const std::int64_t pairs = 64;
+  Rng rng(5);
+  LeafBatch batch = make_leaf_batch(g, pairs, rng);
+  for (auto _ : state) {
+    for (std::int64_t t = 0; t < pairs; ++t) {
+      SeaweedEngine engine;
+      benchmark::DoNotOptimize(engine.multiply_raw(
+          batch.views[static_cast<std::size_t>(t)].first,
+          batch.views[static_cast<std::size_t>(t)].second));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_SeaweedEngineLeafSinglesColdArena)->Arg(64)->Arg(256)->Arg(1024);
+
+// Striping the same 64×256 batch across a ThreadPool (flat on a
+// single-core host by construction; see ROADMAP).
+void BM_SeaweedEngineBatchThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  Rng rng(5);
+  LeafBatch batch = make_leaf_batch(256, 64, rng);
+  ThreadPool pool(threads);
+  SeaweedEngine engine({.pool = threads > 1 ? &pool : nullptr});
+  for (auto _ : state) {
+    engine.multiply_batch_into(batch.views, batch.outs);
+    benchmark::DoNotOptimize(batch.pc.data());
+  }
+}
+BENCHMARK(BM_SeaweedEngineBatchThreads)->DenseRange(1, 4)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Subunit multiplication: the direct in-arena path vs the legacy reduction
+// through explicitly padded Perms, on half-density sub-permutations.
+// ---------------------------------------------------------------------------
+
+void BM_SubunitDirect(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(9);
+  const Perm a = Perm::random_sub(n, n, n / 2, rng);
+  const Perm b = Perm::random_sub(n, n, n / 2, rng);
+  SeaweedEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subunit_multiply(a, b, engine));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SubunitDirect)->Range(1 << 8, 1 << 12)->Complexity();
+
+void BM_SubunitPadded(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(9);
+  const Perm a = Perm::random_sub(n, n, n / 2, rng);
+  const Perm b = Perm::random_sub(n, n, n / 2, rng);
+  SeaweedEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subunit_multiply_padded(a, b, engine));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SubunitPadded)->Range(1 << 8, 1 << 12)->Complexity();
 
 void BM_NaiveMultiply(benchmark::State& state) {
   const std::int64_t n = state.range(0);

@@ -6,7 +6,6 @@
 
 #include "monge/engine.h"
 #include "monge/multiway.h"
-#include "monge/seaweed.h"
 #include "mpc/collectives.h"
 #include "mpc/dist_vector.h"
 #include "util/check.h"
@@ -528,7 +527,7 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
       static_cast<std::size_t>(m));
   cluster.run_round([&](MachineCtx& mc) {
     const std::int64_t i = mc.id();
-    // Group the received points by subproblem and solve sequentially.
+    // Group the received points by subproblem.
     std::map<std::int32_t, std::vector<SubPoint>> as, bs;
     for (const SubPoint& p : a_in[static_cast<std::size_t>(i)]) {
       as[p.sub].push_back(p);
@@ -536,21 +535,36 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
     for (const SubPoint& p : b_in[static_cast<std::size_t>(i)]) {
       bs[p.sub].push_back(p);
     }
+    // Pack every leaf into one contiguous buffer and hand the whole batch
+    // to this worker thread's engine in ONE call: a single arena sizing
+    // and zero per-leaf heap allocations, instead of one multiply_raw
+    // (with its own output vector) per leaf. Machines still run
+    // concurrently on the cluster pool; within a machine the batch is
+    // solved back-to-back (the thread-local engine is sequential).
+    std::int64_t total = 0;
     for (auto& [sub, ap] : as) {
       const std::int64_t k = leaf.size[static_cast<std::size_t>(sub)];
       MONGE_CHECK_MSG(static_cast<std::int64_t>(ap.size()) == k &&
                           static_cast<std::int64_t>(bs[sub].size()) == k,
                       "leaf sub " << sub << " expected " << k << " points, got "
                                   << ap.size() << "/" << bs[sub].size());
-      std::vector<std::int32_t> pa(static_cast<std::size_t>(k)),
-          pb(static_cast<std::size_t>(k));
+      total += k;
+    }
+    std::vector<std::int32_t> pa_store(static_cast<std::size_t>(total)),
+        pb_store(static_cast<std::size_t>(total)),
+        pc_store(static_cast<std::size_t>(total));
+    std::vector<std::int32_t> batch_subs;
+    std::vector<std::int64_t> batch_offsets;
+    std::int64_t at = 0;
+    for (auto& [sub, ap] : as) {
+      const std::int64_t k = leaf.size[static_cast<std::size_t>(sub)];
       for (const SubPoint& p : ap) {
         MONGE_CHECK_MSG(p.row >= 0 && p.row < k && p.col >= 0 && p.col < k,
                         "leaf A point out of range: sub " << sub << " row "
                                                           << p.row << " col "
                                                           << p.col << " k "
                                                           << k);
-        pa[static_cast<std::size_t>(p.row)] = p.col;
+        pa_store[static_cast<std::size_t>(at + p.row)] = p.col;
       }
       for (const SubPoint& p : bs[sub]) {
         MONGE_CHECK_MSG(p.row >= 0 && p.row < k && p.col >= 0 && p.col < k,
@@ -558,16 +572,33 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
                                                           << p.row << " col "
                                                           << p.col << " k "
                                                           << k);
-        pb[static_cast<std::size_t>(p.row)] = p.col;
+        pb_store[static_cast<std::size_t>(at + p.row)] = p.col;
       }
-      // Machine-local solve on this worker thread's engine (arena reused
-      // across rounds; machines run concurrently on the cluster pool).
-      const auto pc = default_seaweed_engine().multiply_raw(pa, pb);
+      batch_subs.push_back(sub);
+      batch_offsets.push_back(at);
+      at += k;
+    }
+    std::vector<PermPairView> views;
+    std::vector<std::span<std::int32_t>> outs;
+    views.reserve(batch_subs.size());
+    outs.reserve(batch_subs.size());
+    for (std::size_t j = 0; j < batch_subs.size(); ++j) {
+      const auto off = static_cast<std::size_t>(batch_offsets[j]);
+      const auto k = static_cast<std::size_t>(
+          leaf.size[static_cast<std::size_t>(batch_subs[j])]);
+      views.push_back({std::span<const std::int32_t>(pa_store).subspan(off, k),
+                       std::span<const std::int32_t>(pb_store).subspan(off, k)});
+      outs.push_back(std::span<std::int32_t>(pc_store).subspan(off, k));
+    }
+    default_seaweed_engine().multiply_batch_into(views, outs);
+    for (std::size_t j = 0; j < batch_subs.size(); ++j) {
+      const std::int32_t sub = batch_subs[j];
+      const std::int64_t k = leaf.size[static_cast<std::size_t>(sub)];
       for (std::int64_t r = 0; r < k; ++r) {
         c_out[static_cast<std::size_t>(i)].push_back(
             {leaf.offset[static_cast<std::size_t>(sub)] + r,
              SubPoint{sub, static_cast<std::int32_t>(r),
-                      pc[static_cast<std::size_t>(r)]}});
+                      pc_store[static_cast<std::size_t>(batch_offsets[j] + r)]}});
       }
     }
   });
@@ -816,7 +847,12 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
     }
     const auto strips = mpc::route_items<StripPt>(cluster, strip_out);
 
-    // --- Solve crossed boxes locally on their machines.
+    // --- Solve crossed boxes locally on their machines. Machines run
+    // concurrently, so per-machine counters are accumulated in disjoint
+    // slots and summed after the round (incrementing rep directly from the
+    // lambda would race).
+    std::vector<std::int64_t> interesting_per_machine(
+        static_cast<std::size_t>(m), 0);
     cluster.run_round([&](MachineCtx& mc) {
       const std::int64_t i = mc.id();
       std::map<std::int32_t, BoxTask> tasks;
@@ -865,10 +901,13 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
                SubPoint{box.sub, static_cast<std::int32_t>(p.row),
                         static_cast<std::int32_t>(p.col)}});
         }
-        rep.interesting_points +=
+        interesting_per_machine[static_cast<std::size_t>(i)] +=
             static_cast<std::int64_t>(res.interesting.size());
       }
     });
+    for (std::int64_t cnt : interesting_per_machine) {
+      rep.interesting_points += cnt;
+    }
 
     // --- Assemble this level's results (validates one point per row).
     c_pts = mpc::scatter_to_layout<SubPoint>(cluster, n, asm_out);

@@ -1,5 +1,6 @@
 #include "core/mpc_subperm.h"
 
+#include "monge/subperm.h"
 #include "mpc/collectives.h"
 #include "mpc/dist_vector.h"
 #include "util/check.h"
@@ -26,74 +27,6 @@ void charge_padding_rounds(mpc::Cluster& cluster,
   (void)mpc::dv_exclusive_prefix(cluster, dv);
 }
 
-struct PadInfo {
-  std::vector<std::int32_t> rows_a;  // surviving rows of A
-  std::vector<std::int32_t> cols_b;  // surviving columns of B
-  std::int64_t shift = 0;            // n2 - n1
-  std::int64_t n3 = 0;
-  std::int64_t out_rows = 0, out_cols = 0;
-  bool empty = false;
-};
-
-/// §4.1 padding (same arithmetic as the sequential subunit_multiply).
-std::pair<Perm, Perm> pad_pair(const Perm& a, const Perm& b, PadInfo& info) {
-  MONGE_CHECK(a.cols() == b.rows());
-  const std::int64_t n2 = a.cols();
-  info.out_rows = a.rows();
-  info.out_cols = b.cols();
-
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    if (!a.row_empty(r)) info.rows_a.push_back(static_cast<std::int32_t>(r));
-  }
-  const auto b_col_to_row = b.col_to_row();
-  std::vector<std::int32_t> col_rank_b(static_cast<std::size_t>(b.cols()),
-                                       kNone);
-  for (std::int64_t c = 0; c < b.cols(); ++c) {
-    if (b_col_to_row[static_cast<std::size_t>(c)] != kNone) {
-      col_rank_b[static_cast<std::size_t>(c)] =
-          static_cast<std::int32_t>(info.cols_b.size());
-      info.cols_b.push_back(static_cast<std::int32_t>(c));
-    }
-  }
-  const auto n1 = static_cast<std::int64_t>(info.rows_a.size());
-  info.n3 = static_cast<std::int64_t>(info.cols_b.size());
-  info.shift = n2 - n1;
-  if (n1 == 0 || info.n3 == 0 || n2 == 0) {
-    info.empty = true;
-    return {Perm(0, 0), Perm(0, 0)};
-  }
-
-  std::vector<std::uint8_t> col_used(static_cast<std::size_t>(n2), 0);
-  for (std::int32_t r : info.rows_a) {
-    col_used[static_cast<std::size_t>(a.col_of(r))] = 1;
-  }
-  std::vector<std::int32_t> pa(static_cast<std::size_t>(n2));
-  std::int64_t top = 0;
-  for (std::int64_t c = 0; c < n2; ++c) {
-    if (!col_used[static_cast<std::size_t>(c)]) {
-      pa[static_cast<std::size_t>(top++)] = static_cast<std::int32_t>(c);
-    }
-  }
-  for (std::int64_t i = 0; i < n1; ++i) {
-    pa[static_cast<std::size_t>(top + i)] =
-        a.col_of(info.rows_a[static_cast<std::size_t>(i)]);
-  }
-
-  std::vector<std::int32_t> pb(static_cast<std::size_t>(n2));
-  std::int64_t appended = 0;
-  for (std::int64_t r = 0; r < n2; ++r) {
-    if (b.row_empty(r)) {
-      pb[static_cast<std::size_t>(r)] =
-          static_cast<std::int32_t>(info.n3 + appended++);
-    } else {
-      pb[static_cast<std::size_t>(r)] =
-          col_rank_b[static_cast<std::size_t>(b.col_of(r))];
-    }
-  }
-  return {Perm::from_rows(std::move(pa), n2),
-          Perm::from_rows(std::move(pb), n2)};
-}
-
 }  // namespace
 
 std::vector<Perm> mpc_subunit_multiply_batch(
@@ -101,11 +34,14 @@ std::vector<Perm> mpc_subunit_multiply_batch(
     const MpcMultiplyOptions& options, MpcMultiplyReport* report) {
   charge_padding_rounds(cluster, pairs);
 
-  std::vector<PadInfo> infos(pairs.size());
+  // §4.1 padding via the shared sequential helpers (monge/subperm.h); the
+  // cluster multiply needs the padded full permutations materialized, unlike
+  // the sequential direct path which keeps them in engine scratch.
+  std::vector<SubunitPadding> infos(pairs.size());
   std::vector<std::pair<Perm, Perm>> padded;
   std::vector<std::size_t> padded_of;  // index into `padded`, or npos
   for (std::size_t t = 0; t < pairs.size(); ++t) {
-    auto pr = pad_pair(pairs[t].first, pairs[t].second, infos[t]);
+    auto pr = subunit_pad_pair(pairs[t].first, pairs[t].second, infos[t]);
     if (!infos[t].empty) {
       padded_of.push_back(padded.size());
       padded.push_back(std::move(pr));
@@ -124,19 +60,9 @@ std::vector<Perm> mpc_subunit_multiply_batch(
 
   std::vector<Perm> out;
   for (std::size_t t = 0; t < pairs.size(); ++t) {
-    const PadInfo& info = infos[t];
-    Perm res(info.out_rows, info.out_cols);
-    if (!info.empty) {
-      const Perm& pc = products[padded_of[t]];
-      for (std::int64_t r = info.shift; r < pc.rows(); ++r) {
-        const std::int32_t c = pc.col_of(r);
-        if (c < info.n3) {
-          res.set(info.rows_a[static_cast<std::size_t>(r - info.shift)],
-                  info.cols_b[static_cast<std::size_t>(c)]);
-        }
-      }
-    }
-    out.push_back(std::move(res));
+    const SubunitPadding& info = infos[t];
+    out.push_back(info.empty ? Perm(info.out_rows, info.out_cols)
+                             : subunit_unpad(info, products[padded_of[t]]));
   }
   return out;
 }

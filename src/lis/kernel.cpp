@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "monge/engine.h"
-#include "monge/subperm.h"
 #include "util/check.h"
 #include "util/fenwick.h"
 
@@ -11,10 +10,15 @@ namespace monge::lis {
 
 namespace {
 
-Perm kernel_rec(const std::vector<std::int32_t>& p, SeaweedEngine& engine) {
+/// The kernel as a raw row->col array (kNone = empty row). The whole
+/// value-split recursion stays in this representation and every merge runs
+/// on the engine's direct subunit path, so no Perm is constructed (or
+/// validated) until lis_kernel wraps the final result.
+std::vector<std::int32_t> kernel_rec(const std::vector<std::int32_t>& p,
+                                     SeaweedEngine& engine) {
   const auto n = static_cast<std::int64_t>(p.size());
-  if (n == 0) return Perm(0, 0);
-  if (n == 1) return Perm(1, 1);  // empty kernel: LIS of one element is 1
+  if (n == 0) return {};
+  if (n == 1) return {kNone};  // empty kernel: LIS of one element is 1
 
   const std::int64_t mid = n / 2;
   std::vector<std::int32_t> lo_pos, hi_pos, p_lo, p_hi;
@@ -28,23 +32,28 @@ Perm kernel_rec(const std::vector<std::int32_t>& p, SeaweedEngine& engine) {
       p_hi.push_back(static_cast<std::int32_t>(v - mid));
     }
   }
-  const Perm k_lo = kernel_rec(p_lo, engine);
-  const Perm k_hi = kernel_rec(p_hi, engine);
+  const std::vector<std::int32_t> k_lo = kernel_rec(p_lo, engine);
+  const std::vector<std::int32_t> k_hi = kernel_rec(p_hi, engine);
 
   // Embed: A = K_lo at lo positions + identity at hi positions;
   //        B = identity at lo positions + K_hi at hi positions.
-  Perm a(n, n), b(n, n);
-  for (const Point& pt : k_lo.points()) {
-    a.set(lo_pos[static_cast<std::size_t>(pt.row)],
-          lo_pos[static_cast<std::size_t>(pt.col)]);
+  std::vector<std::int32_t> a(static_cast<std::size_t>(n), kNone),
+      b(static_cast<std::size_t>(n), kNone);
+  for (std::size_t i = 0; i < k_lo.size(); ++i) {
+    if (k_lo[i] != kNone) {
+      a[static_cast<std::size_t>(lo_pos[i])] =
+          lo_pos[static_cast<std::size_t>(k_lo[i])];
+    }
   }
-  for (std::int32_t pos : hi_pos) a.set(pos, pos);
-  for (std::int32_t pos : lo_pos) b.set(pos, pos);
-  for (const Point& pt : k_hi.points()) {
-    b.set(hi_pos[static_cast<std::size_t>(pt.row)],
-          hi_pos[static_cast<std::size_t>(pt.col)]);
+  for (std::int32_t pos : hi_pos) a[static_cast<std::size_t>(pos)] = pos;
+  for (std::int32_t pos : lo_pos) b[static_cast<std::size_t>(pos)] = pos;
+  for (std::size_t i = 0; i < k_hi.size(); ++i) {
+    if (k_hi[i] != kNone) {
+      b[static_cast<std::size_t>(hi_pos[i])] =
+          hi_pos[static_cast<std::size_t>(k_hi[i])];
+    }
   }
-  return subunit_multiply(a, b, engine);
+  return engine.subunit_multiply_raw(a, b, n);
 }
 
 }  // namespace
@@ -63,7 +72,8 @@ Perm lis_kernel(std::span<const std::int32_t> perm, SeaweedEngine& engine) {
                     "lis_kernel requires a permutation of [0, n)");
     seen[static_cast<std::size_t>(v)] = true;
   }
-  return kernel_rec(p, engine);
+  const auto n = static_cast<std::int64_t>(p.size());
+  return Perm::from_rows(kernel_rec(p, engine), n);
 }
 
 std::int64_t lis_from_kernel(const Perm& kernel) {

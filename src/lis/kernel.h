@@ -26,7 +26,9 @@ class SeaweedEngine;
 namespace monge::lis {
 
 /// Sequential kernel of a permutation (O(n log^2 n)). Every merge runs on
-/// the thread-local default SeaweedEngine.
+/// the thread-local default SeaweedEngine's direct subunit path
+/// (SeaweedEngine::subunit_multiply_raw), so the recursion never
+/// materializes padded Perm temporaries.
 Perm lis_kernel(std::span<const std::int32_t> perm);
 
 /// Same, but every subunit-Monge merge runs on the caller-provided engine

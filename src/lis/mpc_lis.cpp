@@ -123,15 +123,17 @@ MpcLisResult mpc_lis(Cluster& cluster, std::span<const std::int64_t> seq,
     for (std::int64_t k = 0; k < classes; k += 2 * width) {
       ClassState& lo = state[static_cast<std::size_t>(k)];
       ClassState& hi = state[static_cast<std::size_t>(k + width)];
+      // Degenerate merges adopt the surviving side wholesale; the position
+      // list round-trips through merged_positions by move (it is
+      // reinstated below), never by copy.
       if (hi.positions.empty()) {
-        merged_positions.push_back(lo.positions);
+        merged_positions.push_back(std::move(lo.positions));
         lo_of.push_back(static_cast<std::size_t>(-1));
         continue;
       }
       if (lo.positions.empty()) {
-        lo.positions = hi.positions;
         lo.kernel = std::move(hi.kernel);
-        merged_positions.push_back(lo.positions);
+        merged_positions.push_back(std::move(hi.positions));
         lo_of.push_back(static_cast<std::size_t>(-1));
         continue;
       }

@@ -47,6 +47,15 @@ std::int64_t lis_window(std::span<const std::int64_t> seq, std::int64_t l,
                                 static_cast<std::size_t>(r - l + 1)));
 }
 
+std::vector<std::int64_t> lis_window_batch(
+    std::span<const std::int64_t> seq,
+    std::span<const std::pair<std::int64_t, std::int64_t>> windows) {
+  std::vector<std::int64_t> out;
+  out.reserve(windows.size());
+  for (const auto& [l, r] : windows) out.push_back(lis_window(seq, l, r));
+  return out;
+}
+
 std::vector<std::int32_t> rank_reduce_strict(
     std::span<const std::int64_t> seq) {
   const auto n = static_cast<std::int64_t>(seq.size());

@@ -390,6 +390,23 @@ void dcheck_full_permutation(std::span<const std::int32_t> p) {
 }
 #endif
 
+/// Solves pairs[lo, hi) of the batch, each in its pre-carved arena slice,
+/// forking recursively via invoke_two so the join work-helps (deadlock-free
+/// from pool workers, same as mul_rec's own forks).
+void batch_rec(std::span<const PermPairView> pairs,
+               std::span<const std::span<std::int32_t>> outs,
+               std::span<Arena> arenas, std::size_t lo, std::size_t hi,
+               ThreadPool* pool, const Plan& plan) {
+  if (hi - lo == 1) {
+    mul_rec(pairs[lo].first, pairs[lo].second, outs[lo], arenas[lo], plan);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  pool->invoke_two(
+      [&] { batch_rec(pairs, outs, arenas, lo, mid, pool, plan); },
+      [&] { batch_rec(pairs, outs, arenas, mid, hi, pool, plan); });
+}
+
 }  // namespace
 
 SeaweedEngine::SeaweedEngine(SeaweedEngineOptions options)
@@ -405,6 +422,18 @@ std::size_t SeaweedEngine::arena_bytes_for(std::int64_t n) const {
   Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
             size_cache_};
   return plan.node_bytes(n);
+}
+
+std::span<std::byte> SeaweedEngine::arena_span(std::size_t bytes) {
+  if (buffer_.size() < bytes + kAlign) {
+    // The arena never carries state between calls, so grow without copying
+    // the old scratch bytes.
+    buffer_.clear();
+    buffer_.resize(bytes + kAlign);
+  }
+  auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
+  const std::size_t shift = (kAlign - base % kAlign) % kAlign;
+  return {buffer_.data() + shift, buffer_.size() - shift};
 }
 
 void SeaweedEngine::multiply_into(std::span<const std::int32_t> a,
@@ -426,17 +455,199 @@ void SeaweedEngine::multiply_into(std::span<const std::int32_t> a,
   }
   Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
             size_cache_};
-  const std::size_t required = plan.node_bytes(n);
-  if (buffer_.size() < required + kAlign) {
-    // The arena never carries state between calls, so grow without copying
-    // the old scratch bytes.
-    buffer_.clear();
-    buffer_.resize(required + kAlign);
-  }
-  auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
-  const std::size_t shift = (kAlign - base % kAlign) % kAlign;
-  Arena arena(buffer_.data() + shift, buffer_.size() - shift);
+  const auto span = arena_span(plan.node_bytes(n));
+  Arena arena(span.data(), span.size());
   mul_rec(a, b, out, arena, plan);
+}
+
+void SeaweedEngine::multiply_batch_into(
+    std::span<const PermPairView> pairs,
+    std::span<const std::span<std::int32_t>> outs) {
+  MONGE_CHECK(pairs.size() == outs.size());
+  if (pairs.empty()) return;
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  const bool stripe =
+      plan.pool != nullptr && plan.pool->thread_count() > 1 && pairs.size() > 1;
+  // Validate and size the whole batch up front; node_bytes populates the
+  // (engine-owned) size cache single-threaded, so the striped solvers below
+  // only ever read it. Per-pair budgets are only materialized when slices
+  // must be carved.
+  std::vector<std::size_t> budgets;
+  if (stripe) budgets.reserve(pairs.size());
+  std::size_t max_budget = 0, sum_budget = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    MONGE_CHECK(pairs[i].first.size() == pairs[i].second.size() &&
+                outs[i].size() == pairs[i].first.size());
+    MONGE_CHECK_MSG(pairs[i].first.size() <= (1u << 30),
+                    "SeaweedEngine packs (col, color) into one int32 and "
+                    "supports n up to 2^30");
+#ifndef NDEBUG
+    dcheck_full_permutation(pairs[i].first);
+    dcheck_full_permutation(pairs[i].second);
+#endif
+    const std::size_t budget =
+        plan.node_bytes(static_cast<std::int64_t>(pairs[i].first.size()));
+    max_budget = std::max(max_budget, budget);
+    if (stripe) {
+      budgets.push_back(budget);
+      sum_budget += budget;
+    }
+  }
+
+  if (!stripe) {
+    // One arena, sized once for the largest subproblem; solve back-to-back.
+    const auto span = arena_span(max_budget);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      Arena arena(span.data(), span.size());
+      mul_rec(pairs[i].first, pairs[i].second, outs[i], arena, plan);
+    }
+    return;
+  }
+
+  // Striped: carve one disjoint slice per pair (budgets are 64-byte
+  // multiples, so carving preserves alignment) and fork-join over the batch.
+  const auto span = arena_span(sum_budget);
+  Arena whole(span.data(), span.size());
+  std::vector<Arena> arenas;
+  arenas.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    arenas.push_back(whole.carve(budgets[i]));
+  }
+  batch_rec(pairs, outs, arenas, 0, pairs.size(), plan.pool, plan);
+}
+
+std::vector<std::vector<std::int32_t>> SeaweedEngine::multiply_raw_batch(
+    std::span<const PermPairView> pairs) {
+  std::vector<std::vector<std::int32_t>> out(pairs.size());
+  std::vector<std::span<std::int32_t>> views;
+  views.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out[i].resize(pairs[i].first.size());
+    views.push_back(out[i]);
+  }
+  multiply_batch_into(pairs, views);
+  return out;
+}
+
+void SeaweedEngine::subunit_multiply_into(PermView a, PermView b,
+                                          std::int64_t b_cols,
+                                          std::span<std::int32_t> out) {
+  const auto ra = static_cast<std::int64_t>(a.size());
+  const auto n2 = static_cast<std::int64_t>(b.size());
+  MONGE_CHECK(out.size() == a.size() && b_cols >= 0);
+  MONGE_CHECK_MSG(n2 <= (1 << 30),
+                  "SeaweedEngine packs (col, color) into one int32 and "
+                  "supports n up to 2^30");
+  std::fill(out.begin(), out.end(), kNone);
+  if (ra == 0 || n2 == 0 || b_cols == 0) return;
+
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  // Arena layout: the padded permutations and the surviving-row/column maps
+  // persist across the core solve; the column-occupancy scratch is rewound
+  // before it, so the budget takes the max of the two phases. There are at
+  // most n2 surviving rows/columns (their product columns/rows are
+  // distinct), which bounds the map slots.
+  const std::size_t core = plan.node_bytes(n2);
+  const std::size_t persistent =
+      2 * slot_bytes<std::int32_t>(n2) +
+      slot_bytes<std::int32_t>(std::min(ra, n2)) +
+      slot_bytes<std::int32_t>(std::min(b_cols, n2));
+  const std::size_t compact_scratch =
+      slot_bytes<std::uint8_t>(n2) + slot_bytes<std::int32_t>(b_cols);
+  const auto span =
+      arena_span(persistent + std::max(core, compact_scratch));
+  Arena arena(span.data(), span.size());
+
+  auto pa = arena.alloc<std::int32_t>(n2);
+  auto pb = arena.alloc<std::int32_t>(n2);
+  auto rows_a = arena.alloc<std::int32_t>(std::min(ra, n2));
+  auto cols_b = arena.alloc<std::int32_t>(std::min(b_cols, n2));
+  const std::size_t scratch = arena.mark();
+
+  // Compact PA: surviving original rows, and which columns they occupy.
+  auto col_used = arena.alloc<std::uint8_t>(n2);
+  std::fill(col_used.begin(), col_used.end(), std::uint8_t{0});
+  std::int64_t n1 = 0;
+  for (std::int64_t r = 0; r < ra; ++r) {
+    const std::int32_t c = a[static_cast<std::size_t>(r)];
+    if (c == kNone) continue;
+    MONGE_CHECK_MSG(c >= 0 && c < n2 && !col_used[static_cast<std::size_t>(c)],
+                    "subunit multiply: A is not a sub-permutation (row "
+                        << r << " -> col " << c << ")");
+    col_used[static_cast<std::size_t>(c)] = 1;
+    rows_a[static_cast<std::size_t>(n1++)] = static_cast<std::int32_t>(r);
+  }
+  if (n1 == 0) return;
+
+  // P'A (n2×n2): the top n2−n1 rows cover PA's empty columns in increasing
+  // order; the bottom n1 rows are the compacted PA.
+  std::int64_t top = 0;
+  for (std::int64_t c = 0; c < n2; ++c) {
+    if (!col_used[static_cast<std::size_t>(c)]) {
+      pa[static_cast<std::size_t>(top++)] = static_cast<std::int32_t>(c);
+    }
+  }
+  MONGE_CHECK(top == n2 - n1);
+  for (std::int64_t i = 0; i < n1; ++i) {
+    pa[static_cast<std::size_t>(top + i)] =
+        a[static_cast<std::size_t>(rows_a[static_cast<std::size_t>(i)])];
+  }
+
+  // Compact PB: surviving columns ranked in column order (0 marks occupancy
+  // in the first pass, then becomes the rank).
+  auto col_rank = arena.alloc<std::int32_t>(b_cols);
+  std::fill(col_rank.begin(), col_rank.end(), kNone);
+  for (std::int64_t r = 0; r < n2; ++r) {
+    const std::int32_t c = b[static_cast<std::size_t>(r)];
+    if (c == kNone) continue;
+    MONGE_CHECK_MSG(
+        c >= 0 && c < b_cols && col_rank[static_cast<std::size_t>(c)] == kNone,
+        "subunit multiply: B is not a sub-permutation (row " << r << " -> col "
+                                                             << c << ")");
+    col_rank[static_cast<std::size_t>(c)] = 0;
+  }
+  std::int64_t n3 = 0;
+  for (std::int64_t c = 0; c < b_cols; ++c) {
+    if (col_rank[static_cast<std::size_t>(c)] != kNone) {
+      col_rank[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(n3);
+      cols_b[static_cast<std::size_t>(n3++)] = static_cast<std::int32_t>(c);
+    }
+  }
+  if (n3 == 0) return;
+
+  // P'B (n2×n2): surviving columns keep their rank in [0,n3); each empty
+  // row of PB gets one of the appended columns [n3,n2) in increasing order.
+  std::int64_t appended = 0;
+  for (std::int64_t r = 0; r < n2; ++r) {
+    const std::int32_t c = b[static_cast<std::size_t>(r)];
+    pb[static_cast<std::size_t>(r)] =
+        c == kNone ? static_cast<std::int32_t>(n3 + appended++)
+                   : col_rank[static_cast<std::size_t>(c)];
+  }
+  MONGE_CHECK(appended == n2 - n3);
+  arena.rewind(scratch);
+
+  // Core solve; the result overwrites P'A (mul_rec's out may alias a).
+  mul_rec(pa, pb, pa, arena, plan);
+
+  // Read PC out of the bottom-left n1×n3 block.
+  const std::int64_t shift = n2 - n1;
+  for (std::int64_t r = shift; r < n2; ++r) {
+    const std::int32_t c = pa[static_cast<std::size_t>(r)];
+    if (c < n3) {
+      out[static_cast<std::size_t>(rows_a[static_cast<std::size_t>(r - shift)])] =
+          cols_b[static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+std::vector<std::int32_t> SeaweedEngine::subunit_multiply_raw(
+    PermView a, PermView b, std::int64_t b_cols) {
+  std::vector<std::int32_t> out(a.size());
+  subunit_multiply_into(a, b, b_cols, out);
+  return out;
 }
 
 std::vector<std::int32_t> SeaweedEngine::multiply_raw(

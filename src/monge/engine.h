@@ -26,6 +26,15 @@
 //   * pool — optional ThreadPool; nullptr means fully sequential. The
 //     engine never owns the pool.
 //
+// Beyond the single-pair entry points the engine offers
+//   * multiply_raw_batch / multiply_batch_into — many independent products
+//     behind one arena sizing, solved back-to-back or striped across the
+//     pool (this is what the MPC simulator's machine-local leaf solve
+//     uses: one engine call per machine and level), and
+//   * subunit_multiply_into — the §4.1 sub-permutation reduction run
+//     directly on raw row->col arrays, with the compact/extend arithmetic
+//     in arena scratch instead of padded Perm temporaries.
+//
 // An engine instance is NOT thread-safe (it owns one arena); use one
 // engine per thread. default_seaweed_engine() returns a thread-local
 // sequential instance whose arena is reused across calls — this is what
@@ -36,6 +45,7 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "monge/permutation.h"
@@ -49,6 +59,14 @@ struct SeaweedEngineOptions {
   std::int64_t parallel_grain = 1 << 13;
   ThreadPool* pool = nullptr;
 };
+
+/// Borrowed view of a raw row->col index array. Full permutations for the
+/// multiply entry points; the subunit entry points additionally allow kNone
+/// (empty row) entries.
+using PermView = std::span<const std::int32_t>;
+
+/// One batch entry: the product PA ⊡ PB of pair.first and pair.second.
+using PermPairView = std::pair<PermView, PermView>;
 
 class SeaweedEngine {
  public:
@@ -70,6 +88,37 @@ class SeaweedEngine {
   /// Validating Perm wrapper (full permutations only).
   Perm multiply(const Perm& a, const Perm& b);
 
+  /// Batched products PC_i = PA_i ⊡ PB_i. The arena is sized ONCE for the
+  /// whole batch (max subproblem budget when sequential, sum of budgets
+  /// when striped), then the pairs are solved back-to-back — or, when a
+  /// ThreadPool is configured, striped across it via invoke_two fork-join
+  /// (caller work-helping, so batches may be issued from pool workers).
+  /// Results are bit-identical to per-pair multiply_raw calls for every
+  /// thread count. Pairs may have mixed sizes, including 0 and 1.
+  std::vector<std::vector<std::int32_t>> multiply_raw_batch(
+      std::span<const PermPairView> pairs);
+
+  /// Allocation-free batch core: solves pairs[i] into outs[i] (each the
+  /// size of its inputs). This is what the MPC simulator's machine-local
+  /// leaf solve calls — one engine call per worker and level instead of one
+  /// per leaf.
+  void multiply_batch_into(std::span<const PermPairView> pairs,
+                           std::span<const std::span<std::int32_t>> outs);
+
+  /// Direct subunit path (Theorem 1.2 without the Perm round-trip):
+  /// PC = PA ⊡ PB for sub-permutation row->col arrays (kNone = empty row).
+  /// `a` has a.size() rows and b.size() columns; `b` has b.size() rows and
+  /// `b_cols` columns. The §4.1 compact/extend arithmetic runs entirely in
+  /// the arena — no Perm construction and no heap temporaries — and the
+  /// core solve reuses the padded-PA slot as its output. Writes out[r] =
+  /// product column of row r, or kNone; out.size() == a.size().
+  void subunit_multiply_into(PermView a, PermView b, std::int64_t b_cols,
+                             std::span<std::int32_t> out);
+
+  /// Allocating convenience wrapper around subunit_multiply_into.
+  std::vector<std::int32_t> subunit_multiply_raw(PermView a, PermView b,
+                                                 std::int64_t b_cols);
+
   const SeaweedEngineOptions& options() const { return options_; }
 
   /// Current arena capacity in bytes (grows monotonically; for tests and
@@ -80,6 +129,10 @@ class SeaweedEngine {
   std::size_t arena_bytes_for(std::int64_t n) const;
 
  private:
+  /// Grows the buffer to hold at least `bytes` scratch (plus alignment
+  /// slack) and returns the 64-byte-aligned usable range.
+  std::span<std::byte> arena_span(std::size_t bytes);
+
   SeaweedEngineOptions options_;
   std::vector<std::byte> buffer_;
   /// Per-size arena budgets, memoized across calls (options are fixed at

@@ -11,7 +11,20 @@
 //  3. multiply, and read PC out of the bottom-left n1×n3 block
 //     ([∗ ∗; PC ∗] in the paper's display); the content of the ∗ blocks is
 //     irrelevant as long as P'A, P'B are permutations.
+//
+// `subunit_multiply` runs this directly on the engine
+// (SeaweedEngine::subunit_multiply_into): the compact/extend arithmetic
+// happens in arena scratch and the product is read straight out of the
+// core solve — no padded Perm temporaries. The explicit padding
+// (SubunitPadding / subunit_pad_pair / subunit_unpad) is kept both as the
+// legacy reference path (`subunit_multiply_padded`, differential-fuzzed
+// against the direct path) and for callers that must materialize the
+// padded permutations anyway — the MPC reduction in core/mpc_subperm
+// feeds them to the cluster multiply.
 #pragma once
+
+#include <utility>
+#include <vector>
 
 #include "monge/permutation.h"
 
@@ -27,5 +40,32 @@ Perm subunit_multiply(const Perm& a, const Perm& b);
 /// Same, but on a caller-provided engine (reusing its arena, and its thread
 /// pool if configured).
 Perm subunit_multiply(const Perm& a, const Perm& b, SeaweedEngine& engine);
+
+/// The §4.1 padding layout of one pair: which rows of A / columns of B
+/// survive the compaction, and the shape bookkeeping needed to read the
+/// product back out of the padded core.
+struct SubunitPadding {
+  std::vector<std::int32_t> rows_a;  // surviving original rows of PA
+  std::vector<std::int32_t> cols_b;  // surviving original columns of PB
+  std::int64_t shift = 0;            // n2 − n1
+  std::int64_t n3 = 0;               // #surviving columns of PB
+  std::int64_t out_rows = 0, out_cols = 0;
+  bool empty = false;  // product is all-zero; no core multiply needed
+};
+
+/// Materializes the padded full permutations P'A, P'B (both n2×n2) and the
+/// layout needed to unpad. Returns empty Perms (and sets info.empty) when
+/// the product is trivially all-zero.
+std::pair<Perm, Perm> subunit_pad_pair(const Perm& a, const Perm& b,
+                                       SubunitPadding& info);
+
+/// Reads PC out of the bottom-left n1×n3 block of the padded product.
+Perm subunit_unpad(const SubunitPadding& info, const Perm& padded_product);
+
+/// The legacy reduction through explicitly padded Perms, kept as the
+/// reference the direct engine path is differential-fuzzed against.
+Perm subunit_multiply_padded(const Perm& a, const Perm& b);
+Perm subunit_multiply_padded(const Perm& a, const Perm& b,
+                             SeaweedEngine& engine);
 
 }  // namespace monge

@@ -1,7 +1,6 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 #include "util/check.h"
@@ -125,29 +124,32 @@ void ThreadPool::parallel_for(std::int64_t n,
   const std::int64_t chunks = std::min<std::int64_t>(n, 4 * threads);
   const std::int64_t chunk = ceil_div(n, chunks);
 
-  std::atomic<std::int64_t> remaining{0};
+  // The join state lives on this stack frame, so the last worker's final
+  // touch of it must happen entirely under done_mu: decrementing a bare
+  // atomic before taking the lock would let a (possibly spurious) caller
+  // wake-up observe remaining == 0 and destroy the frame while the worker
+  // is still entering the mutex — a use-after-scope that crashes rarely
+  // and only under scheduling pressure.
   std::exception_ptr first_error;
-  std::mutex err_mu;
-  std::mutex done_mu;
+  std::mutex done_mu;  // guards remaining and first_error
   std::condition_variable done_cv;
 
   std::int64_t scheduled = 0;
   for (std::int64_t lo = 0; lo < n; lo += chunk) ++scheduled;
-  remaining.store(scheduled);
+  std::int64_t remaining = scheduled;
 
   for (std::int64_t lo = 0; lo < n; lo += chunk) {
     const std::int64_t hi = std::min(n, lo + chunk);
     std::function<void()> task = [&, lo, hi] {
+      std::exception_ptr error;
       try {
         for (std::int64_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) done_cv.notify_all();
     };
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -157,7 +159,7 @@ void ThreadPool::parallel_for(std::int64_t n,
   }
 
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -158,6 +158,105 @@ TEST(ThreadPool, InvokeTwoPropagatesExceptions) {
       std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// multiply_raw_batch: differential fuzz against per-pair multiply_raw.
+// ---------------------------------------------------------------------------
+
+// Random batches (including the empty batch) of random mixed sizes
+// (including 0 and 1): the batched solve must be bit-identical to solving
+// every pair with an independent engine. Covers well over 1000 pairs.
+TEST(SeaweedEngineBatch, MatchesPerPairMultiplyFuzz) {
+  Rng rng(20260729);
+  SeaweedEngine batch_engine;
+  SeaweedEngine single_engine;
+  std::int64_t cases = 0;
+  for (int round = 0; round < 140; ++round) {
+    const std::uint64_t batch_size = rng.next_below(17);  // 0..16
+    std::vector<std::vector<std::int32_t>> as, bs;
+    std::vector<PermPairView> views;
+    for (std::uint64_t t = 0; t < batch_size; ++t) {
+      // Mixed sizes, biased toward small but straddling the cutoff, with
+      // explicit 0/1 degenerate entries sprinkled in.
+      const std::uint64_t kind = rng.next_below(8);
+      const std::int64_t n = kind == 0   ? 0
+                             : kind == 1 ? 1
+                                         : rng.next_in(2, 160);
+      as.push_back(rng.permutation(n));
+      bs.push_back(rng.permutation(n));
+    }
+    views.reserve(as.size());
+    for (std::size_t t = 0; t < as.size(); ++t) {
+      views.push_back({as[t], bs[t]});
+    }
+    const auto got = batch_engine.multiply_raw_batch(views);
+    ASSERT_EQ(got.size(), as.size());
+    for (std::size_t t = 0; t < as.size(); ++t) {
+      ASSERT_EQ(got[t], single_engine.multiply_raw(as[t], bs[t]))
+          << "round=" << round << " pair=" << t << " n=" << as[t].size();
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+// Striping across a ThreadPool must not change a single bit, for every
+// thread count and batch shape; repeated on the warm arena.
+TEST(SeaweedEngineBatch, StripedAcrossPoolMatchesSequential) {
+  Rng rng(4242);
+  std::vector<std::vector<std::int32_t>> as, bs;
+  std::vector<PermPairView> views;
+  for (const std::int64_t n : {0, 1, 7, 64, 65, 128, 300, 33, 2, 511}) {
+    as.push_back(rng.permutation(n));
+    bs.push_back(rng.permutation(n));
+  }
+  for (std::size_t t = 0; t < as.size(); ++t) views.push_back({as[t], bs[t]});
+  SeaweedEngine sequential;
+  const auto expect = sequential.multiply_raw_batch(views);
+  for (const unsigned threads : {2u, 3u, 4u}) {
+    ThreadPool pool(threads);
+    // A tiny grain also forces forking inside the larger pairs, nesting
+    // invoke_two under the batch fork-join.
+    SeaweedEngine striped({.parallel_grain = 64, .pool = &pool});
+    ASSERT_EQ(striped.multiply_raw_batch(views), expect)
+        << "threads=" << threads;
+    ASSERT_EQ(striped.multiply_raw_batch(views), expect)
+        << "threads=" << threads << " (warm arena)";
+  }
+}
+
+TEST(SeaweedEngineBatch, EmptyBatchAndDegeneratePairs) {
+  SeaweedEngine engine;
+  EXPECT_TRUE(engine.multiply_raw_batch({}).empty());
+  const std::vector<std::int32_t> empty;
+  const std::vector<std::int32_t> one{0};
+  std::vector<PermPairView> views{{empty, empty}, {one, one}, {empty, empty}};
+  const auto got = engine.multiply_raw_batch(views);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got[0].empty());
+  EXPECT_EQ(got[1], (std::vector<std::int32_t>{0}));
+  EXPECT_TRUE(got[2].empty());
+}
+
+// The arena is sized once for the whole batch: re-running the same batch
+// (or any batch of no-larger pairs) must not grow the buffer, and the
+// sequential batch needs no more scratch than its largest pair.
+TEST(SeaweedEngineBatch, ArenaSizedOnceForWholeBatch) {
+  Rng rng(31337);
+  SeaweedEngine engine;
+  std::vector<std::vector<std::int32_t>> as, bs;
+  std::vector<PermPairView> views;
+  for (const std::int64_t n : {100, 700, 50, 512}) {
+    as.push_back(rng.permutation(n));
+    bs.push_back(rng.permutation(n));
+  }
+  for (std::size_t t = 0; t < as.size(); ++t) views.push_back({as[t], bs[t]});
+  const auto first = engine.multiply_raw_batch(views);
+  const std::size_t cap = engine.arena_capacity();
+  EXPECT_GE(cap, engine.arena_bytes_for(700));
+  EXPECT_EQ(engine.multiply_raw_batch(views), first);
+  EXPECT_EQ(engine.arena_capacity(), cap);
+}
+
 TEST(SeaweedEngine, SubunitMultiplyOverload) {
   Rng rng(99);
   SeaweedEngine engine;

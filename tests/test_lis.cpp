@@ -112,6 +112,27 @@ INSTANTIATE_TEST_SUITE_P(Sizes, KernelRandom,
                          ::testing::Values<std::int64_t>(8, 17, 33, 64, 128,
                                                          257));
 
+// Stress loop: duplicate-heavy random sequences, rank-reduced to a kernel,
+// answered against the per-window patience oracle batch. (rank_reduce_strict
+// preserves strict comparisons pointwise, so every window agrees.)
+TEST(LisKernelStress, WindowBatchMatchesSequentialOracle) {
+  Rng rng(20260729);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::int64_t n = rng.next_in(1, 200);
+    std::vector<std::int64_t> seq(static_cast<std::size_t>(n));
+    for (auto& x : seq) x = rng.next_in(-8, 8);
+    const Perm kernel = lis_kernel(rank_reduce_strict(seq));
+    std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+    for (int q = 0; q < 30; ++q) {
+      const std::int64_t l = rng.next_in(0, n - 1);
+      windows.push_back({l, rng.next_in(l - 1, n - 1)});  // l-1 = empty window
+    }
+    ASSERT_EQ(kernel_window_lis_batch(kernel, windows),
+              lis_window_batch(seq, windows))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
 TEST(LisKernel, SortedAndReversedExtremes) {
   std::vector<std::int32_t> sorted(50), rev(50);
   for (int i = 0; i < 50; ++i) {

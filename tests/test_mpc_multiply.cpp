@@ -146,6 +146,76 @@ TEST(MpcMultiply, WarmupProfileCostsMoreRoundsThanPaper) {
   EXPECT_LE(rw.rounds, rc.rounds);
 }
 
+// ---------------------------------------------------------------------------
+// Report invariants across the batched leaf solve.
+//
+// The machine-local leaf solve routes through one
+// SeaweedEngine::multiply_batch_into call per machine; that is a purely
+// local change, so rounds, levels and every other report counter — and of
+// course the product itself — must be bit-identical to the pre-batch
+// per-leaf path. The goldens below were captured from the pre-batch
+// implementation (commit 5796e22) at n=512, m=16, seed 2024 for the three
+// profile shapes (paper-style H-way/flat, warmup, CHS23-style).
+// ---------------------------------------------------------------------------
+TEST(MpcMultiply, ReportInvariantsPinnedAcrossLeafBatching) {
+  struct Golden {
+    std::int64_t h, fanout;
+    std::int64_t rounds, levels, lines, crossed, queries, interesting;
+  };
+  const Golden goldens[] = {
+      {8, 8, 778, 2, 82, 74, 129956, 928},
+      {2, 8, 1500, 4, 158, 113, 9732, 1195},
+      {2, 2, 3033, 4, 158, 113, 6370, 1195},
+  };
+  const std::int64_t n = 512;
+  for (const Golden& g : goldens) {
+    mpc::Cluster cluster(cfg_of(16, 1 << 22, /*strict=*/false));
+    Rng rng(2024);
+    const Perm a = Perm::random(n, rng);
+    const Perm b = Perm::random(n, rng);
+    MpcMultiplyOptions opt;
+    opt.split_h = g.h;
+    opt.tree_fanout = g.fanout;
+    MpcMultiplyReport rep;
+    const Perm got = mpc_unit_monge_multiply(cluster, a, b, opt, &rep);
+    ASSERT_EQ(got, seaweed_multiply(a, b)) << "h=" << g.h << " f=" << g.fanout;
+    EXPECT_EQ(rep.rounds, g.rounds) << "h=" << g.h << " f=" << g.fanout;
+    EXPECT_EQ(rep.levels, g.levels) << "h=" << g.h << " f=" << g.fanout;
+    EXPECT_EQ(rep.box_g, 32) << "h=" << g.h << " f=" << g.fanout;
+    EXPECT_EQ(rep.lines, g.lines) << "h=" << g.h << " f=" << g.fanout;
+    EXPECT_EQ(rep.crossed_boxes, g.crossed) << "h=" << g.h << " f=" << g.fanout;
+    EXPECT_EQ(rep.rank_queries, g.queries) << "h=" << g.h << " f=" << g.fanout;
+    EXPECT_EQ(rep.interesting_points, g.interesting)
+        << "h=" << g.h << " f=" << g.fanout;
+  }
+}
+
+// The three option-preset factories must keep resolving to the same
+// schedules (at reproduction sizes they all collapse to two-way splits —
+// the paper's H = n^{(1−δ)/10} only exceeds 2 at astronomical n) and their
+// multiplies must stay correct with the batched leaf solve; rounds/levels
+// are pinned to the pre-batch golden.
+TEST(MpcMultiply, PresetProfilesUnchangedByLeafBatching) {
+  const std::int64_t n = 512;
+  int which = 0;
+  for (const auto& make :
+       {paper_profile, warmup_profile, chs23_profile}) {
+    mpc::Cluster cluster(cfg_of(16, 1 << 22, /*strict=*/false));
+    const MpcMultiplyOptions opt = make(n, cluster);
+    Rng rng(2024);
+    const Perm a = Perm::random(n, rng);
+    const Perm b = Perm::random(n, rng);
+    MpcMultiplyReport rep;
+    const Perm got = mpc_unit_monge_multiply(cluster, a, b, opt, &rep);
+    ASSERT_EQ(got, seaweed_multiply(a, b)) << "preset " << which;
+    EXPECT_EQ(rep.split_h, 2) << "preset " << which;
+    EXPECT_EQ(rep.tree_fanout, 2) << "preset " << which;
+    EXPECT_EQ(rep.rounds, 3033) << "preset " << which;
+    EXPECT_EQ(rep.levels, 4) << "preset " << which;
+    ++which;
+  }
+}
+
 TEST(MpcMultiply, IdentityAndReverse) {
   mpc::Cluster cluster(cfg_of(4));
   Rng rng(9);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "monge/distribution.h"
+#include "monge/engine.h"
 #include "monge/seaweed.h"
 #include "util/rng.h"
 
@@ -23,8 +24,85 @@ TEST_P(SubPerm, MatchesNaiveOracle) {
   for (int trial = 0; trial < 10; ++trial) {
     const Perm a = Perm::random_sub(cse.ra, cse.n2, cse.ka, rng);
     const Perm b = Perm::random_sub(cse.n2, cse.cb, cse.kb, rng);
-    ASSERT_EQ(subunit_multiply(a, b), multiply_naive(a, b));
+    const Perm expect = multiply_naive(a, b);
+    // Direct engine path and the padded legacy reference must both agree
+    // with the oracle (and hence with each other) on every shape.
+    ASSERT_EQ(subunit_multiply(a, b), expect);
+    ASSERT_EQ(subunit_multiply_padded(a, b), expect);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: the direct (in-arena, no Perm round-trip) subunit path
+// vs the §4.1 padded legacy reduction, over >1000 randomized shapes
+// including degenerate (zero-dimension, empty, full) cases.
+// ---------------------------------------------------------------------------
+TEST(SubPermFuzz, DirectMatchesPaddedLegacy) {
+  Rng rng(0xC0FFEE);
+  SeaweedEngine direct_engine;
+  SeaweedEngine padded_engine;
+  std::int64_t cases = 0;
+  while (cases < 1200) {
+    const std::int64_t ra = static_cast<std::int64_t>(rng.next_below(41));
+    const std::int64_t n2 = static_cast<std::int64_t>(rng.next_below(41));
+    const std::int64_t cb = static_cast<std::int64_t>(rng.next_below(41));
+    const std::int64_t max_ka = std::min(ra, n2);
+    const std::int64_t max_kb = std::min(n2, cb);
+    // Bias toward the boundary densities (empty / full) now and then.
+    const auto pick_k = [&](std::int64_t mx) -> std::int64_t {
+      const std::uint64_t kind = rng.next_below(6);
+      if (kind == 0) return 0;
+      if (kind == 1) return mx;
+      return static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(mx) + 1));
+    };
+    const Perm a = Perm::random_sub(ra, n2, pick_k(max_ka), rng);
+    const Perm b = Perm::random_sub(n2, cb, pick_k(max_kb), rng);
+    const Perm got = subunit_multiply(a, b, direct_engine);
+    ASSERT_EQ(got, subunit_multiply_padded(a, b, padded_engine))
+        << "ra=" << ra << " n2=" << n2 << " cb=" << cb;
+    // Spot-check a slice against the O(n^3) oracle as well.
+    if (cases % 8 == 0) {
+      ASSERT_EQ(got, multiply_naive(a, b))
+          << "ra=" << ra << " n2=" << n2 << " cb=" << cb;
+    }
+    ++cases;
+  }
+}
+
+// The raw-span entry point is the same computation without the Perm wrap
+// (this is what the LIS kernel recursion calls).
+TEST(SubPermFuzz, RawEntryPointMatchesPermWrapper) {
+  Rng rng(555);
+  SeaweedEngine engine;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t ra = static_cast<std::int64_t>(rng.next_below(30));
+    const std::int64_t n2 = static_cast<std::int64_t>(rng.next_below(30));
+    const std::int64_t cb = static_cast<std::int64_t>(rng.next_below(30));
+    const std::int64_t ka = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(std::min(ra, n2)) + 1));
+    const std::int64_t kb = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(std::min(n2, cb)) + 1));
+    const Perm a = Perm::random_sub(ra, n2, ka, rng);
+    const Perm b = Perm::random_sub(n2, cb, kb, rng);
+    const auto raw =
+        engine.subunit_multiply_raw(a.row_to_col(), b.row_to_col(), b.cols());
+    ASSERT_EQ(Perm::from_rows(raw, b.cols()), subunit_multiply(a, b, engine));
+  }
+}
+
+// Invalid sub-permutations (duplicate columns, out-of-range columns) are
+// rejected by the direct path's always-on input validation.
+TEST(SubPermFuzz, DirectPathRejectsMalformedInputs) {
+  SeaweedEngine engine;
+  std::vector<std::int32_t> dup{1, 1, kNone};   // duplicate column 1
+  std::vector<std::int32_t> oob{0, 5, kNone};   // column 5 out of [0, 3)
+  std::vector<std::int32_t> b{0, 1, 2};
+  std::vector<std::int32_t> out(3, kNone);
+  EXPECT_THROW(engine.subunit_multiply_into(dup, b, 3, out), std::logic_error);
+  EXPECT_THROW(engine.subunit_multiply_into(oob, b, 3, out), std::logic_error);
+  EXPECT_THROW(engine.subunit_multiply_into(b, dup, 3, out), std::logic_error);
+  EXPECT_THROW(engine.subunit_multiply_into(b, oob, 3, out), std::logic_error);
 }
 
 INSTANTIATE_TEST_SUITE_P(
