@@ -23,6 +23,7 @@ void BM_PatienceLis(benchmark::State& state) {
 }
 BENCHMARK(BM_PatienceLis)->Range(1 << 10, 1 << 18)->Complexity();
 
+// Level-order builder: one batched subunit engine call per merge level.
 void BM_LisKernelSeq(benchmark::State& state) {
   Rng rng(2);
   const auto p = rng.permutation(state.range(0));
@@ -32,6 +33,19 @@ void BM_LisKernelSeq(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_LisKernelSeq)->Range(1 << 8, 1 << 13)->Complexity();
+
+// The pre-batching depth-first recursion (one engine call per merge), kept
+// as the per-merge baseline. A/B against BM_LisKernelSeq needs interleaved
+// repetitions on the single-core dev box (see README).
+void BM_LisKernelPerMerge(benchmark::State& state) {
+  Rng rng(2);
+  const auto p = rng.permutation(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lis::lis_kernel_reference(p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LisKernelPerMerge)->Range(1 << 8, 1 << 13)->Complexity();
 
 void BM_MpcLisSimulated(benchmark::State& state) {
   const std::int64_t n = state.range(0);

@@ -231,6 +231,72 @@ void BM_SubunitPadded(benchmark::State& state) {
 }
 BENCHMARK(BM_SubunitPadded)->Range(1 << 8, 1 << 12)->Complexity();
 
+// ---------------------------------------------------------------------------
+// Batched subunit solves: one LIS-kernel merge level's worth of subunit
+// products (32 independent pairs of half-density n×n sub-permutations) as a
+// single subunit_multiply_batch_into call vs 32 per-call
+// subunit_multiply_into solves on an equally warm engine. The batch pays
+// one arena sizing for the level; this is the call shape the level-order
+// lis_kernel issues once per merge level. A/B deltas on the single-core
+// dev box need interleaved repetitions (see README).
+// ---------------------------------------------------------------------------
+
+struct SubunitLevel {
+  std::vector<std::vector<std::int32_t>> as, bs;
+  std::vector<std::int32_t> out_backing;
+  std::vector<SubunitPairView> views;
+  std::vector<std::span<std::int32_t>> outs;
+};
+
+SubunitLevel make_subunit_level(std::int64_t n, std::int64_t pairs, Rng& rng) {
+  SubunitLevel level;
+  level.out_backing.resize(static_cast<std::size_t>(n * pairs));
+  for (std::int64_t t = 0; t < pairs; ++t) {
+    level.as.push_back(Perm::random_sub(n, n, n / 2, rng).row_to_col());
+    level.bs.push_back(Perm::random_sub(n, n, n / 2, rng).row_to_col());
+  }
+  for (std::int64_t t = 0; t < pairs; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    level.views.push_back({level.as[i], level.bs[i], n});
+    level.outs.push_back(std::span<std::int32_t>(level.out_backing)
+                             .subspan(static_cast<std::size_t>(t * n),
+                                      static_cast<std::size_t>(n)));
+  }
+  return level;
+}
+
+void BM_SubunitBatchLevel(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t pairs = 32;
+  Rng rng(17);
+  SubunitLevel level = make_subunit_level(n, pairs, rng);
+  SeaweedEngine engine;
+  for (auto _ : state) {
+    engine.subunit_multiply_batch_into(level.views, level.outs);
+    benchmark::DoNotOptimize(level.out_backing.data());
+  }
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_SubunitBatchLevel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SubunitBatchSingles(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t pairs = 32;
+  Rng rng(17);
+  SubunitLevel level = make_subunit_level(n, pairs, rng);
+  SeaweedEngine engine;
+  for (auto _ : state) {
+    for (std::int64_t t = 0; t < pairs; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      engine.subunit_multiply_into(level.views[i].a, level.views[i].b,
+                                   level.views[i].b_cols, level.outs[i]);
+    }
+    benchmark::DoNotOptimize(level.out_backing.data());
+  }
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_SubunitBatchSingles)->Arg(64)->Arg(256)->Arg(1024);
+
 void BM_NaiveMultiply(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   Rng rng(1);

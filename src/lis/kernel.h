@@ -11,6 +11,16 @@
 //   K = (K_lo ⊕ id_hi) ⊡ (id_lo ⊕ K_hi).
 // This is the decomposition Theorem 1.3 parallelises: each merge level of
 // the MPC algorithm is one batched ⊡.
+//
+// The builder walks that tree bottom-up in LEVEL ORDER, not depth-first:
+// the permutation is split into the full leaf partition once, then every
+// merge level issues ONE batched engine call
+// (SeaweedEngine::subunit_multiply_batch_into) covering all of the level's
+// (A, B) embedding pairs — O(log n) engine calls total, each sharing a
+// single arena sizing and striping across the engine's pool when one is
+// configured. lis_kernel_reference keeps the pre-batching depth-first
+// recursion (one engine call per merge) as the differential-fuzz reference
+// and per-merge benchmark baseline.
 #pragma once
 
 #include <cstdint>
@@ -25,25 +35,83 @@ class SeaweedEngine;
 
 namespace monge::lis {
 
-/// Sequential kernel of a permutation (O(n log^2 n)). Every merge runs on
-/// the thread-local default SeaweedEngine's direct subunit path
-/// (SeaweedEngine::subunit_multiply_raw), so the recursion never
-/// materializes padded Perm temporaries.
+/// Sequential kernel of a permutation (O(n log^2 n)). Level-order: one
+/// batched subunit-Monge product per merge level on the thread-local
+/// default SeaweedEngine. Bit-identical to lis_kernel_reference.
+///
+/// @param perm a permutation of [0, n) (validated).
+/// @return the n×n kernel sub-permutation.
 Perm lis_kernel(std::span<const std::int32_t> perm);
 
-/// Same, but every subunit-Monge merge runs on the caller-provided engine
-/// (reusing its arena, and its thread pool if configured).
+/// Same, but every merge level's batched subunit-Monge product runs on the
+/// caller-provided engine (reusing its arena, and striping the level across
+/// its thread pool if one is configured). Deterministic for every thread
+/// count.
+///
+/// @param perm a permutation of [0, n) (validated).
+/// @param engine the engine every batched merge level runs on.
+/// @return the n×n kernel sub-permutation.
 Perm lis_kernel(std::span<const std::int32_t> perm, SeaweedEngine& engine);
 
+/// Kernels of many independent permutations in one level-order pass: each
+/// global merge level issues ONE batched engine call covering that level's
+/// merges across ALL inputs, so b kernels of size n cost O(log n) engine
+/// calls instead of O(b log n). This is what the MPC LIS driver uses for
+/// the leaf kernels a machine owns. Results are bit-identical to per-input
+/// lis_kernel for every thread count.
+///
+/// @param perms one permutation of [0, n_i) per entry (each validated).
+/// @return one kernel per input, in input order.
+std::vector<Perm> lis_kernel_batch(
+    std::span<const std::vector<std::int32_t>> perms);
+
+/// Same, on a caller-provided engine.
+///
+/// @param perms one permutation of [0, n_i) per entry (each validated).
+/// @param engine the engine every batched merge level runs on.
+/// @return one kernel per input, in input order.
+std::vector<Perm> lis_kernel_batch(
+    std::span<const std::vector<std::int32_t>> perms, SeaweedEngine& engine);
+
+/// The pre-batching depth-first recursion: one engine call
+/// (subunit_multiply_raw) per merge, O(n) calls total. Kept as the
+/// differential-fuzz reference for the level-order builder and as the
+/// per-merge baseline in bench/lis_wallclock.
+///
+/// @param perm a permutation of [0, n) (validated).
+/// @return the n×n kernel sub-permutation.
+Perm lis_kernel_reference(std::span<const std::int32_t> perm);
+
+/// Same, on a caller-provided engine.
+///
+/// @param perm a permutation of [0, n) (validated).
+/// @param engine the engine every per-merge subunit product runs on.
+/// @return the n×n kernel sub-permutation.
+Perm lis_kernel_reference(std::span<const std::int32_t> perm,
+                          SeaweedEngine& engine);
+
 /// LIS of the whole permutation from its kernel: n − #points.
+///
+/// @param kernel a kernel built by lis_kernel / lis_kernel_batch.
+/// @return the LIS length of the underlying permutation.
 std::int64_t lis_from_kernel(const Perm& kernel);
 
 /// LIS(p[l..r]) from the kernel (O(n) scan).
+///
+/// @param kernel a kernel built by lis_kernel / lis_kernel_batch.
+/// @param l window start (inclusive).
+/// @param r window end (inclusive); l > r is a legitimate empty window and
+///     answers 0, even with endpoints outside [0, n).
+/// @return the LIS length of p[l..r].
 std::int64_t kernel_window_lis(const Perm& kernel, std::int64_t l,
                                std::int64_t r);
 
 /// Offline batch of window queries in O((n + q) log n) via dominance
 /// counting (Fenwick sweep).
+///
+/// @param kernel a kernel built by lis_kernel / lis_kernel_batch.
+/// @param windows (l, r) inclusive windows; empty (l > r) windows answer 0.
+/// @return one LIS length per window, in input order.
 std::vector<std::int64_t> kernel_window_lis_batch(
     const Perm& kernel,
     std::span<const std::pair<std::int64_t, std::int64_t>> windows);

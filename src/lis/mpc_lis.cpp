@@ -93,6 +93,11 @@ MpcLisResult mpc_lis(Cluster& cluster, std::span<const std::int64_t> seq,
     for (const ClassElem& e : routed[static_cast<std::size_t>(i)]) {
       mine[static_cast<std::size_t>(e.cls)].push_back({e.pos, e.rk});
     }
+    // Collect the machine's class-local permutations, then solve every leaf
+    // kernel through one level-order batch: each global merge level is one
+    // batched subunit engine call shared by all classes this machine owns.
+    std::vector<std::int64_t> owned;
+    std::vector<std::vector<std::int32_t>> local_perms;
     for (std::int64_t k = 0; k < classes; ++k) {
       if (k % m != i || mine[static_cast<std::size_t>(k)].empty()) continue;
       auto& elems = mine[static_cast<std::size_t>(k)];
@@ -110,7 +115,13 @@ MpcLisResult mpc_lis(Cluster& cluster, std::span<const std::int64_t> seq,
         v = static_cast<std::int32_t>(
             std::lower_bound(vals.begin(), vals.end(), v) - vals.begin());
       }
-      st.kernel = lis_kernel(local_perm);
+      owned.push_back(k);
+      local_perms.push_back(std::move(local_perm));
+    }
+    if (owned.empty()) return;
+    auto kernels = lis_kernel_batch(local_perms);
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      state[static_cast<std::size_t>(owned[j])].kernel = std::move(kernels[j]);
     }
   });
 

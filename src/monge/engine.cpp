@@ -390,104 +390,40 @@ void dcheck_full_permutation(std::span<const std::int32_t> p) {
 }
 #endif
 
-/// Solves pairs[lo, hi) of the batch, each in its pre-carved arena slice,
+/// Solves batch entries [lo, hi), each in its pre-carved arena slice,
 /// forking recursively via invoke_two so the join work-helps (deadlock-free
-/// from pool workers, same as mul_rec's own forks).
-void batch_rec(std::span<const PermPairView> pairs,
-               std::span<const std::span<std::int32_t>> outs,
-               std::span<Arena> arenas, std::size_t lo, std::size_t hi,
-               ThreadPool* pool, const Plan& plan) {
+/// from pool workers, same as mul_rec's own forks). `solve(i)` runs entry i
+/// in arena slice i; shared by the full-permutation and subunit batches.
+template <typename Solve>
+void batch_rec(std::size_t lo, std::size_t hi, ThreadPool* pool,
+               const Solve& solve) {
   if (hi - lo == 1) {
-    mul_rec(pairs[lo].first, pairs[lo].second, outs[lo], arenas[lo], plan);
+    solve(lo);
     return;
   }
   const std::size_t mid = lo + (hi - lo) / 2;
-  pool->invoke_two(
-      [&] { batch_rec(pairs, outs, arenas, lo, mid, pool, plan); },
-      [&] { batch_rec(pairs, outs, arenas, mid, hi, pool, plan); });
+  pool->invoke_two([&] { batch_rec(lo, mid, pool, solve); },
+                   [&] { batch_rec(mid, hi, pool, solve); });
 }
 
-}  // namespace
-
-SeaweedEngine::SeaweedEngine(SeaweedEngineOptions options)
-    : options_(options) {
-  // The upper clamp keeps the O(cutoff^3) dense base case from dominating
-  // when a caller passes something absurd (the sweet spot is ~4-16).
-  options_.base_case_cutoff =
-      std::clamp<std::int64_t>(options_.base_case_cutoff, 1, 256);
-  options_.parallel_grain = std::max<std::int64_t>(options_.parallel_grain, 2);
-}
-
-std::size_t SeaweedEngine::arena_bytes_for(std::int64_t n) const {
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
-  return plan.node_bytes(n);
-}
-
-std::span<std::byte> SeaweedEngine::arena_span(std::size_t bytes) {
-  if (buffer_.size() < bytes + kAlign) {
-    // The arena never carries state between calls, so grow without copying
-    // the old scratch bytes.
-    buffer_.clear();
-    buffer_.resize(bytes + kAlign);
-  }
-  auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
-  const std::size_t shift = (kAlign - base % kAlign) % kAlign;
-  return {buffer_.data() + shift, buffer_.size() - shift};
-}
-
-void SeaweedEngine::multiply_into(std::span<const std::int32_t> a,
-                                  std::span<const std::int32_t> b,
-                                  std::span<std::int32_t> out) {
-  MONGE_CHECK(a.size() == b.size() && out.size() == a.size());
-  MONGE_CHECK_MSG(a.size() <= (1u << 30),
-                  "SeaweedEngine packs (col, color) into one int32 and "
-                  "supports n up to 2^30");
-#ifndef NDEBUG
-  dcheck_full_permutation(a);
-  dcheck_full_permutation(b);
-#endif
-  const auto n = static_cast<std::int64_t>(a.size());
-  if (n == 0) return;
-  if (n == 1) {
-    out[0] = 0;
-    return;
-  }
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
-  const auto span = arena_span(plan.node_bytes(n));
-  Arena arena(span.data(), span.size());
-  mul_rec(a, b, out, arena, plan);
-}
-
-void SeaweedEngine::multiply_batch_into(
-    std::span<const PermPairView> pairs,
-    std::span<const std::span<std::int32_t>> outs) {
-  MONGE_CHECK(pairs.size() == outs.size());
-  if (pairs.empty()) return;
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
+/// The shared batch skeleton: validate + budget every entry up front
+/// (`budget_of(i)`, which must also populate the plan's size cache —
+/// single-threaded, so the striped solvers below only read it), size the
+/// arena ONCE for the whole batch, then either solve back-to-back on the
+/// shared span or carve one disjoint slice per entry and fork-join.
+/// `arena_span(bytes)` is the engine's buffer accessor; `solve(i, arena)`
+/// runs entry i. Budgets are 64-byte multiples, so carving preserves
+/// alignment.
+template <typename ArenaSpanFn, typename BudgetFn, typename SolveFn>
+void solve_batch(std::size_t count, const Plan& plan, ArenaSpanFn arena_span,
+                 BudgetFn budget_of, SolveFn solve) {
   const bool stripe =
-      plan.pool != nullptr && plan.pool->thread_count() > 1 && pairs.size() > 1;
-  // Validate and size the whole batch up front; node_bytes populates the
-  // (engine-owned) size cache single-threaded, so the striped solvers below
-  // only ever read it. Per-pair budgets are only materialized when slices
-  // must be carved.
+      plan.pool != nullptr && plan.pool->thread_count() > 1 && count > 1;
   std::vector<std::size_t> budgets;
-  if (stripe) budgets.reserve(pairs.size());
+  if (stripe) budgets.reserve(count);
   std::size_t max_budget = 0, sum_budget = 0;
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    MONGE_CHECK(pairs[i].first.size() == pairs[i].second.size() &&
-                outs[i].size() == pairs[i].first.size());
-    MONGE_CHECK_MSG(pairs[i].first.size() <= (1u << 30),
-                    "SeaweedEngine packs (col, color) into one int32 and "
-                    "supports n up to 2^30");
-#ifndef NDEBUG
-    dcheck_full_permutation(pairs[i].first);
-    dcheck_full_permutation(pairs[i].second);
-#endif
-    const std::size_t budget =
-        plan.node_bytes(static_cast<std::int64_t>(pairs[i].first.size()));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t budget = budget_of(i);
     max_budget = std::max(max_budget, budget);
     if (stripe) {
       budgets.push_back(budget);
@@ -496,54 +432,52 @@ void SeaweedEngine::multiply_batch_into(
   }
 
   if (!stripe) {
-    // One arena, sized once for the largest subproblem; solve back-to-back.
+    // One arena, sized once for the largest entry; solve back-to-back.
     const auto span = arena_span(max_budget);
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (std::size_t i = 0; i < count; ++i) {
       Arena arena(span.data(), span.size());
-      mul_rec(pairs[i].first, pairs[i].second, outs[i], arena, plan);
+      solve(i, arena);
     }
     return;
   }
 
-  // Striped: carve one disjoint slice per pair (budgets are 64-byte
-  // multiples, so carving preserves alignment) and fork-join over the batch.
   const auto span = arena_span(sum_budget);
   Arena whole(span.data(), span.size());
   std::vector<Arena> arenas;
-  arenas.reserve(pairs.size());
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
+  arenas.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     arenas.push_back(whole.carve(budgets[i]));
   }
-  batch_rec(pairs, outs, arenas, 0, pairs.size(), plan.pool, plan);
+  batch_rec(0, count, plan.pool,
+            [&](std::size_t i) { solve(i, arenas[i]); });
 }
 
-std::vector<std::vector<std::int32_t>> SeaweedEngine::multiply_raw_batch(
-    std::span<const PermPairView> pairs) {
-  std::vector<std::vector<std::int32_t>> out(pairs.size());
+/// Shared allocating wrapper for the *_raw_batch twins: size one output
+/// vector per entry (`size_of(i)`), then run the into-variant over views.
+template <typename SizeFn, typename IntoFn>
+std::vector<std::vector<std::int32_t>> raw_batch(std::size_t count,
+                                                 SizeFn size_of, IntoFn into) {
+  std::vector<std::vector<std::int32_t>> out(count);
   std::vector<std::span<std::int32_t>> views;
-  views.reserve(pairs.size());
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    out[i].resize(pairs[i].first.size());
+  views.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].resize(size_of(i));
     views.push_back(out[i]);
   }
-  multiply_batch_into(pairs, views);
+  into(views);
   return out;
 }
 
-void SeaweedEngine::subunit_multiply_into(PermView a, PermView b,
-                                          std::int64_t b_cols,
-                                          std::span<std::int32_t> out) {
-  const auto ra = static_cast<std::int64_t>(a.size());
-  const auto n2 = static_cast<std::int64_t>(b.size());
-  MONGE_CHECK(out.size() == a.size() && b_cols >= 0);
-  MONGE_CHECK_MSG(n2 <= (1 << 30),
-                  "SeaweedEngine packs (col, color) into one int32 and "
-                  "supports n up to 2^30");
-  std::fill(out.begin(), out.end(), kNone);
-  if (ra == 0 || n2 == 0 || b_cols == 0) return;
+// ---------------------------------------------------------------------------
+// The §4.1 subunit reduction in arena scratch (compact both inputs, extend
+// to full n2×n2 permutations, core-solve over the padded-PA slot, read the
+// product out of the bottom-left block). Shared by subunit_multiply_into
+// and the batched entry point; the caller sizes the arena with
+// subunit_node_bytes and guarantees capacity.
+// ---------------------------------------------------------------------------
 
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
+std::size_t subunit_node_bytes(Plan& plan, std::int64_t ra, std::int64_t n2,
+                               std::int64_t b_cols) {
   // Arena layout: the padded permutations and the surviving-row/column maps
   // persist across the core solve; the column-occupancy scratch is rewound
   // before it, so the budget takes the max of the two phases. There are at
@@ -556,9 +490,16 @@ void SeaweedEngine::subunit_multiply_into(PermView a, PermView b,
       slot_bytes<std::int32_t>(std::min(b_cols, n2));
   const std::size_t compact_scratch =
       slot_bytes<std::uint8_t>(n2) + slot_bytes<std::int32_t>(b_cols);
-  const auto span =
-      arena_span(persistent + std::max(core, compact_scratch));
-  Arena arena(span.data(), span.size());
+  return persistent + std::max(core, compact_scratch);
+}
+
+void subunit_solve(PermView a, PermView b, std::int64_t b_cols,
+                   std::span<std::int32_t> out, Arena& arena,
+                   const Plan& plan) {
+  const auto ra = static_cast<std::int64_t>(a.size());
+  const auto n2 = static_cast<std::int64_t>(b.size());
+  std::fill(out.begin(), out.end(), kNone);
+  if (ra == 0 || n2 == 0 || b_cols == 0) return;
 
   auto pa = arena.alloc<std::int32_t>(n2);
   auto pb = arena.alloc<std::int32_t>(n2);
@@ -641,6 +582,146 @@ void SeaweedEngine::subunit_multiply_into(PermView a, PermView b,
           cols_b[static_cast<std::size_t>(c)];
     }
   }
+}
+
+void check_subunit_shapes(PermView a, PermView b, std::int64_t b_cols,
+                          std::span<const std::int32_t> out) {
+  MONGE_CHECK(out.size() == a.size() && b_cols >= 0);
+  MONGE_CHECK_MSG(b.size() <= (1u << 30),
+                  "SeaweedEngine packs (col, color) into one int32 and "
+                  "supports n up to 2^30");
+}
+
+}  // namespace
+
+SeaweedEngine::SeaweedEngine(SeaweedEngineOptions options)
+    : options_(options) {
+  // The upper clamp keeps the O(cutoff^3) dense base case from dominating
+  // when a caller passes something absurd (the sweet spot is ~4-16).
+  options_.base_case_cutoff =
+      std::clamp<std::int64_t>(options_.base_case_cutoff, 1, 256);
+  options_.parallel_grain = std::max<std::int64_t>(options_.parallel_grain, 2);
+}
+
+std::size_t SeaweedEngine::arena_bytes_for(std::int64_t n) const {
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  return plan.node_bytes(n);
+}
+
+std::span<std::byte> SeaweedEngine::arena_span(std::size_t bytes) {
+  if (buffer_.size() < bytes + kAlign) {
+    // The arena never carries state between calls, so grow without copying
+    // the old scratch bytes.
+    buffer_.clear();
+    buffer_.resize(bytes + kAlign);
+  }
+  auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
+  const std::size_t shift = (kAlign - base % kAlign) % kAlign;
+  return {buffer_.data() + shift, buffer_.size() - shift};
+}
+
+void SeaweedEngine::multiply_into(std::span<const std::int32_t> a,
+                                  std::span<const std::int32_t> b,
+                                  std::span<std::int32_t> out) {
+  MONGE_CHECK(a.size() == b.size() && out.size() == a.size());
+  MONGE_CHECK_MSG(a.size() <= (1u << 30),
+                  "SeaweedEngine packs (col, color) into one int32 and "
+                  "supports n up to 2^30");
+#ifndef NDEBUG
+  dcheck_full_permutation(a);
+  dcheck_full_permutation(b);
+#endif
+  const auto n = static_cast<std::int64_t>(a.size());
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = 0;
+    return;
+  }
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  const auto span = arena_span(plan.node_bytes(n));
+  Arena arena(span.data(), span.size());
+  mul_rec(a, b, out, arena, plan);
+}
+
+void SeaweedEngine::multiply_batch_into(
+    std::span<const PermPairView> pairs,
+    std::span<const std::span<std::int32_t>> outs) {
+  MONGE_CHECK(pairs.size() == outs.size());
+  if (pairs.empty()) return;
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  solve_batch(
+      pairs.size(), plan, [this](std::size_t bytes) { return arena_span(bytes); },
+      [&](std::size_t i) {
+        MONGE_CHECK(pairs[i].first.size() == pairs[i].second.size() &&
+                    outs[i].size() == pairs[i].first.size());
+        MONGE_CHECK_MSG(pairs[i].first.size() <= (1u << 30),
+                        "SeaweedEngine packs (col, color) into one int32 and "
+                        "supports n up to 2^30");
+#ifndef NDEBUG
+        dcheck_full_permutation(pairs[i].first);
+        dcheck_full_permutation(pairs[i].second);
+#endif
+        return plan.node_bytes(static_cast<std::int64_t>(pairs[i].first.size()));
+      },
+      [&](std::size_t i, Arena& arena) {
+        mul_rec(pairs[i].first, pairs[i].second, outs[i], arena, plan);
+      });
+}
+
+std::vector<std::vector<std::int32_t>> SeaweedEngine::multiply_raw_batch(
+    std::span<const PermPairView> pairs) {
+  return raw_batch(
+      pairs.size(), [&](std::size_t i) { return pairs[i].first.size(); },
+      [&](std::span<const std::span<std::int32_t>> views) {
+        multiply_batch_into(pairs, views);
+      });
+}
+
+void SeaweedEngine::subunit_multiply_into(PermView a, PermView b,
+                                          std::int64_t b_cols,
+                                          std::span<std::int32_t> out) {
+  check_subunit_shapes(a, b, b_cols, out);
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  const auto span = arena_span(
+      subunit_node_bytes(plan, static_cast<std::int64_t>(a.size()),
+                         static_cast<std::int64_t>(b.size()), b_cols));
+  Arena arena(span.data(), span.size());
+  subunit_solve(a, b, b_cols, out, arena, plan);
+}
+
+void SeaweedEngine::subunit_multiply_batch_into(
+    std::span<const SubunitPairView> pairs,
+    std::span<const std::span<std::int32_t>> outs) {
+  MONGE_CHECK(pairs.size() == outs.size());
+  ++subunit_batch_calls_;
+  if (pairs.empty()) return;
+  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
+            size_cache_};
+  solve_batch(
+      pairs.size(), plan, [this](std::size_t bytes) { return arena_span(bytes); },
+      [&](std::size_t i) {
+        check_subunit_shapes(pairs[i].a, pairs[i].b, pairs[i].b_cols, outs[i]);
+        return subunit_node_bytes(
+            plan, static_cast<std::int64_t>(pairs[i].a.size()),
+            static_cast<std::int64_t>(pairs[i].b.size()), pairs[i].b_cols);
+      },
+      [&](std::size_t i, Arena& arena) {
+        subunit_solve(pairs[i].a, pairs[i].b, pairs[i].b_cols, outs[i], arena,
+                      plan);
+      });
+}
+
+std::vector<std::vector<std::int32_t>> SeaweedEngine::subunit_multiply_raw_batch(
+    std::span<const SubunitPairView> pairs) {
+  return raw_batch(
+      pairs.size(), [&](std::size_t i) { return pairs[i].a.size(); },
+      [&](std::span<const std::span<std::int32_t>> views) {
+        subunit_multiply_batch_into(pairs, views);
+      });
 }
 
 std::vector<std::int32_t> SeaweedEngine::subunit_multiply_raw(

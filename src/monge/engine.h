@@ -30,10 +30,14 @@
 //   * multiply_raw_batch / multiply_batch_into — many independent products
 //     behind one arena sizing, solved back-to-back or striped across the
 //     pool (this is what the MPC simulator's machine-local leaf solve
-//     uses: one engine call per machine and level), and
+//     uses: one engine call per machine and level),
 //   * subunit_multiply_into — the §4.1 sub-permutation reduction run
 //     directly on raw row->col arrays, with the compact/extend arithmetic
-//     in arena scratch instead of padded Perm temporaries.
+//     in arena scratch instead of padded Perm temporaries, and
+//   * subunit_multiply_batch_into / subunit_multiply_raw_batch — the
+//     batched form of the subunit path (this is what the level-order LIS
+//     kernel uses: one engine call per merge level instead of one per
+//     merge).
 //
 // An engine instance is NOT thread-safe (it owns one arena); use one
 // engine per thread. default_seaweed_engine() returns a thread-local
@@ -54,9 +58,18 @@ namespace monge {
 
 class ThreadPool;
 
+/// Tuning knobs for a SeaweedEngine. Fixed at construction; see the file
+/// comment for how each knob trades off. None of them affect results —
+/// only wall-clock and arena footprint.
 struct SeaweedEngineOptions {
+  /// Subproblems of size <= cutoff use the dense O(k^3) base case.
+  /// Clamped to [1, 256] at construction.
   std::int64_t base_case_cutoff = 8;
+  /// Subproblems larger than this fork onto `pool` (when set). Clamped to
+  /// >= 2 at construction.
   std::int64_t parallel_grain = 1 << 13;
+  /// Optional fork-join pool; nullptr runs fully sequential. Borrowed,
+  /// never owned: the pool must outlive the engine's calls that use it.
   ThreadPool* pool = nullptr;
 };
 
@@ -68,8 +81,22 @@ using PermView = std::span<const std::int32_t>;
 /// One batch entry: the product PA ⊡ PB of pair.first and pair.second.
 using PermPairView = std::pair<PermView, PermView>;
 
+/// One batched subunit product: PC = PA ⊡ PB for sub-permutation row->col
+/// arrays (kNone = empty row). `a` is a.size() × b.size(), `b` is
+/// b.size() × b_cols — the same shape contract as subunit_multiply_into.
+struct SubunitPairView {
+  PermView a;
+  PermView b;
+  std::int64_t b_cols = 0;
+};
+
 class SeaweedEngine {
  public:
+  /// Constructs an engine with the given knobs (clamped as documented on
+  /// SeaweedEngineOptions). The arena starts empty and grows monotonically
+  /// across calls; construction itself does not allocate scratch.
+  ///
+  /// @param options tuning knobs; copied, fixed for the engine's lifetime.
   explicit SeaweedEngine(SeaweedEngineOptions options = {});
 
   SeaweedEngine(const SeaweedEngine&) = delete;
@@ -77,15 +104,35 @@ class SeaweedEngine {
 
   /// PC = PA ⊡ PB on raw row->col index arrays; both inputs must be full
   /// permutations of [0, n) (validated in debug builds only).
+  ///
+  /// Deterministic: bit-identical to seaweed_multiply_reference_raw for
+  /// every input, every knob choice and every thread count. Reuses (and
+  /// possibly grows) the engine's arena; no other allocations after the
+  /// first call of a given size beyond the returned vector.
+  ///
+  /// @param a row->col array of PA (size n).
+  /// @param b row->col array of PB (size n).
+  /// @return row->col array of the product (size n).
   std::vector<std::int32_t> multiply_raw(std::span<const std::int32_t> a,
                                          std::span<const std::int32_t> b);
 
-  /// Allocation-free variant: writes the product into `out` (size n).
+  /// Allocation-free variant of multiply_raw: writes the product into
+  /// `out`. Same determinism and arena-reuse contract.
+  ///
+  /// @param a row->col array of PA (size n).
+  /// @param b row->col array of PB (size n).
+  /// @param out receives the product row->col array; must have size n and
+  ///     must not alias `a` or `b`.
   void multiply_into(std::span<const std::int32_t> a,
                      std::span<const std::int32_t> b,
                      std::span<std::int32_t> out);
 
-  /// Validating Perm wrapper (full permutations only).
+  /// Validating Perm wrapper around multiply_raw (full permutations only;
+  /// use subunit_multiply / subunit_multiply_into for sub-permutations).
+  ///
+  /// @param a full permutation matrix PA.
+  /// @param b full permutation matrix PB with b.rows() == a.cols().
+  /// @return the product permutation PA ⊡ PB.
   Perm multiply(const Perm& a, const Perm& b);
 
   /// Batched products PC_i = PA_i ⊡ PB_i. The arena is sized ONCE for the
@@ -95,13 +142,22 @@ class SeaweedEngine {
   /// (caller work-helping, so batches may be issued from pool workers).
   /// Results are bit-identical to per-pair multiply_raw calls for every
   /// thread count. Pairs may have mixed sizes, including 0 and 1.
+  ///
+  /// @param pairs the (PA_i, PB_i) inputs; each pair's views must have
+  ///     equal size and be full permutations.
+  /// @return one product row->col array per pair, in input order.
   std::vector<std::vector<std::int32_t>> multiply_raw_batch(
       std::span<const PermPairView> pairs);
 
   /// Allocation-free batch core: solves pairs[i] into outs[i] (each the
   /// size of its inputs). This is what the MPC simulator's machine-local
   /// leaf solve calls — one engine call per worker and level instead of one
-  /// per leaf.
+  /// per leaf. Same arena-sizing, striping and determinism contract as
+  /// multiply_raw_batch.
+  ///
+  /// @param pairs the (PA_i, PB_i) inputs (full permutations, mixed sizes).
+  /// @param outs one output span per pair, outs[i].size() ==
+  ///     pairs[i].first.size(); outputs must not alias any input.
   void multiply_batch_into(std::span<const PermPairView> pairs,
                            std::span<const std::span<std::int32_t>> outs);
 
@@ -110,22 +166,81 @@ class SeaweedEngine {
   /// `a` has a.size() rows and b.size() columns; `b` has b.size() rows and
   /// `b_cols` columns. The §4.1 compact/extend arithmetic runs entirely in
   /// the arena — no Perm construction and no heap temporaries — and the
-  /// core solve reuses the padded-PA slot as its output. Writes out[r] =
-  /// product column of row r, or kNone; out.size() == a.size().
+  /// core solve reuses the padded-PA slot as its output.
+  ///
+  /// Deterministic: bit-identical to subunit_multiply_padded's unpadded
+  /// result for every input and thread count. Sub-permutation validity of
+  /// the inputs is always checked (it falls out of the compaction pass).
+  ///
+  /// @param a row->col array of PA (kNone allowed), a.size() rows,
+  ///     b.size() columns.
+  /// @param b row->col array of PB (kNone allowed), b.size() rows, b_cols
+  ///     columns.
+  /// @param b_cols number of columns of PB (and of the product); >= 0.
+  /// @param out receives out[r] = product column of row r, or kNone;
+  ///     out.size() == a.size(). Must not alias `a` or `b`.
   void subunit_multiply_into(PermView a, PermView b, std::int64_t b_cols,
                              std::span<std::int32_t> out);
 
   /// Allocating convenience wrapper around subunit_multiply_into.
+  ///
+  /// @param a row->col array of PA (kNone allowed).
+  /// @param b row->col array of PB (kNone allowed).
+  /// @param b_cols number of columns of PB; >= 0.
+  /// @return the product row->col array (size a.size(), kNone = empty row).
   std::vector<std::int32_t> subunit_multiply_raw(PermView a, PermView b,
                                                  std::int64_t b_cols);
 
+  /// Batched subunit products PC_i = PA_i ⊡ PB_i, the §4.1 reduction for a
+  /// whole batch behind ONE arena sizing — mirroring the multiply_batch_into
+  /// contract. Sequentially the arena is sized once for the largest pair
+  /// and the pairs are solved back-to-back; with a ThreadPool configured
+  /// the batch is striped across the workers via invoke_two fork-join on
+  /// disjoint carved arena slices (caller work-helping, so batches may be
+  /// issued from pool workers — each stripe still runs its own core solve
+  /// sequentially unless the pair exceeds parallel_grain).
+  ///
+  /// Deterministic: bit-identical to per-pair subunit_multiply_into calls
+  /// for every thread count and batch shape. Pairs may have mixed and
+  /// degenerate shapes (empty a/b, b_cols == 0, all-kNone rows). This is
+  /// what the level-order LIS kernel issues: one call per merge level.
+  ///
+  /// @param pairs the (PA_i, PB_i, b_cols_i) inputs; shape contract per
+  ///     entry as in subunit_multiply_into.
+  /// @param outs one output span per pair, outs[i].size() ==
+  ///     pairs[i].a.size(); outputs must not alias any input.
+  void subunit_multiply_batch_into(
+      std::span<const SubunitPairView> pairs,
+      std::span<const std::span<std::int32_t>> outs);
+
+  /// Allocating convenience wrapper around subunit_multiply_batch_into.
+  ///
+  /// @param pairs the (PA_i, PB_i, b_cols_i) inputs.
+  /// @return one product row->col array per pair, in input order.
+  std::vector<std::vector<std::int32_t>> subunit_multiply_raw_batch(
+      std::span<const SubunitPairView> pairs);
+
+  /// @return the engine's knobs (as clamped at construction).
   const SeaweedEngineOptions& options() const { return options_; }
+
+  /// Number of subunit_multiply_batch_into calls this engine has served
+  /// (one per LIS-kernel merge level; for tests asserting the O(log n)
+  /// call structure).
+  ///
+  /// @return the lifetime batched-subunit call count.
+  std::int64_t subunit_batch_calls() const { return subunit_batch_calls_; }
 
   /// Current arena capacity in bytes (grows monotonically; for tests and
   /// benchmarks).
+  ///
+  /// @return the scratch buffer size in bytes, including alignment slack.
   std::size_t arena_capacity() const { return buffer_.size(); }
 
-  /// Exact number of scratch bytes a multiply of size n will reserve.
+  /// Exact number of scratch bytes a full-permutation multiply of size n
+  /// will reserve (memoized; for tests and benchmarks).
+  ///
+  /// @param n problem size (rows of PA).
+  /// @return the arena budget in bytes for one size-n core solve.
   std::size_t arena_bytes_for(std::int64_t n) const;
 
  private:
@@ -135,6 +250,7 @@ class SeaweedEngine {
 
   SeaweedEngineOptions options_;
   std::vector<std::byte> buffer_;
+  std::int64_t subunit_batch_calls_ = 0;
   /// Per-size arena budgets, memoized across calls (options are fixed at
   /// construction, so entries never go stale). Mutated only by the owning
   /// thread; forked workers read it through a const Plan.
@@ -144,6 +260,8 @@ class SeaweedEngine {
 /// Thread-local sequential engine with a persistent arena; backs the
 /// seaweed_multiply_raw / subunit_multiply compatibility wrappers and the
 /// MPC simulator's machine-local solves.
+///
+/// @return the calling thread's engine (default options, no pool).
 SeaweedEngine& default_seaweed_engine();
 
 }  // namespace monge

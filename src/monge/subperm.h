@@ -34,37 +34,74 @@ class SeaweedEngine;
 
 /// PC = PA ⊡ PB for sub-permutations (Lemma 2.2 guarantees PC exists and is
 /// a sub-permutation). O((n2) log(n2)) on top of the compaction. Runs on
-/// the thread-local default SeaweedEngine.
+/// the thread-local default SeaweedEngine (whose arena is reused across
+/// calls); deterministic — bit-identical to subunit_multiply_padded.
+///
+/// @param a sub-permutation PA (rA×n2).
+/// @param b sub-permutation PB (n2×cB) with b.rows() == a.cols().
+/// @return the product sub-permutation (rA×cB).
 Perm subunit_multiply(const Perm& a, const Perm& b);
 
 /// Same, but on a caller-provided engine (reusing its arena, and its thread
-/// pool if configured).
+/// pool if configured — results stay bit-identical for every thread
+/// count).
+///
+/// @param a sub-permutation PA (rA×n2).
+/// @param b sub-permutation PB (n2×cB) with b.rows() == a.cols().
+/// @param engine the engine the core solve runs on; not thread-safe, so
+///     the caller must not share it across concurrent calls.
+/// @return the product sub-permutation (rA×cB).
 Perm subunit_multiply(const Perm& a, const Perm& b, SeaweedEngine& engine);
 
 /// The §4.1 padding layout of one pair: which rows of A / columns of B
 /// survive the compaction, and the shape bookkeeping needed to read the
 /// product back out of the padded core.
 struct SubunitPadding {
-  std::vector<std::int32_t> rows_a;  // surviving original rows of PA
-  std::vector<std::int32_t> cols_b;  // surviving original columns of PB
-  std::int64_t shift = 0;            // n2 − n1
-  std::int64_t n3 = 0;               // #surviving columns of PB
-  std::int64_t out_rows = 0, out_cols = 0;
-  bool empty = false;  // product is all-zero; no core multiply needed
+  std::vector<std::int32_t> rows_a;  ///< surviving original rows of PA
+  std::vector<std::int32_t> cols_b;  ///< surviving original columns of PB
+  std::int64_t shift = 0;            ///< n2 − n1
+  std::int64_t n3 = 0;               ///< \#surviving columns of PB
+  std::int64_t out_rows = 0;         ///< rows of the product (= rows of PA)
+  std::int64_t out_cols = 0;         ///< columns of the product (= cols of PB)
+  bool empty = false;  ///< product is all-zero; no core multiply needed
 };
 
 /// Materializes the padded full permutations P'A, P'B (both n2×n2) and the
 /// layout needed to unpad. Returns empty Perms (and sets info.empty) when
-/// the product is trivially all-zero.
+/// the product is trivially all-zero. Pure layout arithmetic: no engine,
+/// no arena, deterministic.
+///
+/// @param a sub-permutation PA (rA×n2).
+/// @param b sub-permutation PB (n2×cB) with b.rows() == a.cols().
+/// @param info receives the padding layout; safe to reuse one struct
+///     across pairs (it is reset on entry).
+/// @return the padded full permutations (P'A, P'B), each n2×n2.
 std::pair<Perm, Perm> subunit_pad_pair(const Perm& a, const Perm& b,
                                        SubunitPadding& info);
 
 /// Reads PC out of the bottom-left n1×n3 block of the padded product.
+///
+/// @param info the layout subunit_pad_pair produced for the pair.
+/// @param padded_product P'A ⊡ P'B (n2×n2 full permutation).
+/// @return the product sub-permutation (info.out_rows × info.out_cols).
 Perm subunit_unpad(const SubunitPadding& info, const Perm& padded_product);
 
 /// The legacy reduction through explicitly padded Perms, kept as the
-/// reference the direct engine path is differential-fuzzed against.
+/// reference the direct engine path is differential-fuzzed against. Runs
+/// on the thread-local default SeaweedEngine.
+///
+/// @param a sub-permutation PA (rA×n2).
+/// @param b sub-permutation PB (n2×cB) with b.rows() == a.cols().
+/// @return the product sub-permutation (rA×cB).
 Perm subunit_multiply_padded(const Perm& a, const Perm& b);
+
+/// Same, on a caller-provided engine (arena reused across calls; results
+/// bit-identical for every thread count).
+///
+/// @param a sub-permutation PA (rA×n2).
+/// @param b sub-permutation PB (n2×cB) with b.rows() == a.cols().
+/// @param engine the engine the padded core multiply runs on.
+/// @return the product sub-permutation (rA×cB).
 Perm subunit_multiply_padded(const Perm& a, const Perm& b,
                              SeaweedEngine& engine);
 

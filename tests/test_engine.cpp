@@ -257,6 +257,148 @@ TEST(SeaweedEngineBatch, ArenaSizedOnceForWholeBatch) {
   EXPECT_EQ(engine.arena_capacity(), cap);
 }
 
+// ---------------------------------------------------------------------------
+// subunit_multiply_batch_into: differential fuzz against per-call
+// subunit_multiply_into over randomized shapes, including empty, size-1 and
+// heavily skewed ones.
+// ---------------------------------------------------------------------------
+
+struct SubunitBatchInputs {
+  std::vector<std::vector<std::int32_t>> as, bs;
+  std::vector<std::int64_t> b_cols;
+  std::vector<SubunitPairView> views;
+};
+
+// One random (ra×n2) ⊡ (n2×cb) shape; `kind` steers degenerate and skewed
+// cases so the fuzz hits empty inputs, single elements, thin/fat inner
+// dimensions and all-empty-row sub-permutations.
+void push_random_subunit_pair(SubunitBatchInputs& in, Rng& rng) {
+  std::int64_t ra, n2, cb;
+  switch (rng.next_below(8)) {
+    case 0:  // an empty side
+      ra = 0, n2 = rng.next_in(0, 8), cb = rng.next_in(0, 8);
+      break;
+    case 1:
+      ra = rng.next_in(0, 8), n2 = 0, cb = rng.next_in(0, 8);
+      break;
+    case 2:
+      ra = rng.next_in(0, 8), n2 = rng.next_in(0, 8), cb = 0;
+      break;
+    case 3:  // single element
+      ra = n2 = cb = 1;
+      break;
+    case 4:  // skewed: thin inner dimension
+      ra = rng.next_in(1, 120), n2 = rng.next_in(1, 8),
+      cb = rng.next_in(1, 120);
+      break;
+    case 5:  // skewed: fat inner dimension
+      ra = rng.next_in(1, 8), n2 = rng.next_in(1, 120), cb = rng.next_in(1, 8);
+      break;
+    default:  // generic mixed sizes straddling the base-case cutoff
+      ra = rng.next_in(1, 100), n2 = rng.next_in(1, 100),
+      cb = rng.next_in(1, 100);
+      break;
+  }
+  const std::int64_t ka = std::min(ra, n2) > 0
+                              ? rng.next_in(0, std::min(ra, n2))
+                              : 0;  // 0 = all rows empty
+  const std::int64_t kb =
+      std::min(n2, cb) > 0 ? rng.next_in(0, std::min(n2, cb)) : 0;
+  in.as.push_back(Perm::random_sub(ra, n2, ka, rng).row_to_col());
+  in.bs.push_back(Perm::random_sub(n2, cb, kb, rng).row_to_col());
+  in.b_cols.push_back(cb);
+}
+
+void finalize_views(SubunitBatchInputs& in) {
+  in.views.clear();
+  for (std::size_t t = 0; t < in.as.size(); ++t) {
+    in.views.push_back({in.as[t], in.bs[t], in.b_cols[t]});
+  }
+}
+
+// Random batches (including the empty batch) of random shapes: the batched
+// subunit solve must be bit-identical to solving every pair with an
+// independent engine. Covers well over 1000 shapes.
+TEST(SeaweedEngineSubunitBatch, MatchesPerCallFuzz) {
+  Rng rng(20260729);
+  SeaweedEngine batch_engine;
+  SeaweedEngine single_engine;
+  std::int64_t cases = 0;
+  for (int round = 0; round < 150; ++round) {
+    SubunitBatchInputs in;
+    const std::uint64_t batch_size = rng.next_below(17);  // 0..16
+    for (std::uint64_t t = 0; t < batch_size; ++t) {
+      push_random_subunit_pair(in, rng);
+    }
+    finalize_views(in);
+    const auto got = batch_engine.subunit_multiply_raw_batch(in.views);
+    ASSERT_EQ(got.size(), in.as.size());
+    for (std::size_t t = 0; t < in.as.size(); ++t) {
+      ASSERT_EQ(got[t], single_engine.subunit_multiply_raw(in.as[t], in.bs[t],
+                                                           in.b_cols[t]))
+          << "round=" << round << " pair=" << t << " ra=" << in.as[t].size()
+          << " n2=" << in.bs[t].size() << " cb=" << in.b_cols[t];
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+// Striping a subunit batch across a ThreadPool must not change a single
+// bit, for every thread count; repeated on the warm arena.
+TEST(SeaweedEngineSubunitBatch, StripedAcrossPoolMatchesSequential) {
+  Rng rng(777);
+  SubunitBatchInputs in;
+  for (int t = 0; t < 24; ++t) push_random_subunit_pair(in, rng);
+  finalize_views(in);
+  SeaweedEngine sequential;
+  const auto expect = sequential.subunit_multiply_raw_batch(in.views);
+  for (const unsigned threads : {2u, 3u, 4u}) {
+    ThreadPool pool(threads);
+    // A tiny grain also forces forking inside the larger core solves,
+    // nesting invoke_two under the batch fork-join.
+    SeaweedEngine striped({.parallel_grain = 32, .pool = &pool});
+    ASSERT_EQ(striped.subunit_multiply_raw_batch(in.views), expect)
+        << "threads=" << threads;
+    ASSERT_EQ(striped.subunit_multiply_raw_batch(in.views), expect)
+        << "threads=" << threads << " (warm arena)";
+  }
+}
+
+TEST(SeaweedEngineSubunitBatch, EmptyBatchAndDegeneratePairs) {
+  SeaweedEngine engine;
+  EXPECT_TRUE(engine.subunit_multiply_raw_batch({}).empty());
+  const std::vector<std::int32_t> empty;
+  const std::vector<std::int32_t> none_row{kNone, kNone};
+  const std::vector<std::int32_t> ident{0, 1};
+  std::vector<SubunitPairView> views{
+      {empty, empty, 0},      // 0×0 ⊡ 0×0
+      {none_row, ident, 2},   // all rows of A empty
+      {ident, none_row, 2},   // all rows of B empty
+      {ident, ident, 2},      // tiny identity product
+  };
+  const auto got = engine.subunit_multiply_raw_batch(views);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_TRUE(got[0].empty());
+  EXPECT_EQ(got[1], none_row);
+  EXPECT_EQ(got[2], none_row);
+  EXPECT_EQ(got[3], ident);
+}
+
+// The arena is sized once for the whole batch: re-running the same batch
+// must not grow the buffer.
+TEST(SeaweedEngineSubunitBatch, ArenaSizedOnceForWholeBatch) {
+  Rng rng(31338);
+  SeaweedEngine engine;
+  SubunitBatchInputs in;
+  for (int t = 0; t < 12; ++t) push_random_subunit_pair(in, rng);
+  finalize_views(in);
+  const auto first = engine.subunit_multiply_raw_batch(in.views);
+  const std::size_t cap = engine.arena_capacity();
+  EXPECT_EQ(engine.subunit_multiply_raw_batch(in.views), first);
+  EXPECT_EQ(engine.arena_capacity(), cap);
+}
+
 TEST(SeaweedEngine, SubunitMultiplyOverload) {
   Rng rng(99);
   SeaweedEngine engine;

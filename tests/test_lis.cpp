@@ -4,8 +4,10 @@
 
 #include "lis/kernel.h"
 #include "lis/mpc_lis.h"
+#include "monge/engine.h"
 #include "testing.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace monge::lis {
 namespace {
@@ -130,6 +132,135 @@ TEST(LisKernelStress, WindowBatchMatchesSequentialOracle) {
     ASSERT_EQ(kernel_window_lis_batch(kernel, windows),
               lis_window_batch(seq, windows))
         << "trial " << trial << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Level-order builder vs the pre-change depth-first recursion.
+// ---------------------------------------------------------------------------
+
+// Kernels pinned from the depth-first recursion BEFORE the level-order
+// restructuring (generated with the PR-2 kernel_rec on seeds 101..110,
+// one rng.permutation(n) per seed). The level-order builder must
+// reproduce them bit for bit.
+TEST(LisKernelLevelOrder, PinnedGoldens) {
+  struct Golden {
+    std::vector<std::int32_t> perm;
+    std::vector<std::int32_t> kernel;  // row->col, -1 = empty row
+  };
+  const std::vector<Golden> goldens = {
+      // seed=101 n=1
+      {{0}, {-1}},
+      // seed=102 n=2
+      {{0, 1}, {-1, -1}},
+      // seed=103 n=5
+      {{0, 1, 3, 2, 4}, {-1, -1, 3, -1, -1}},
+      // seed=104 n=8
+      {{5, 7, 0, 3, 6, 1, 4, 2}, {3, 2, -1, 6, 5, -1, 7, -1}},
+      // seed=105 n=13
+      {{5, 6, 1, 7, 4, 0, 3, 2, 10, 9, 11, 8, 12},
+       {-1, 2, 6, 4, 5, -1, 7, -1, 9, -1, 11, -1, -1}},
+      // seed=106 n=16
+      {{11, 13, 14, 7, 6, 4, 15, 8, 3, 2, 10, 9, 0, 5, 12, 1},
+       {14, 10, 3, 4, 5, -1, 7, 8, 9, 13, 11, 12, -1, -1, 15, -1}},
+      // seed=107 n=23
+      {{15, 16, 1, 8, 20, 14, 9, 19, 10, 5, 22, 21, 6, 17, 18, 4, 13, 7, 11,
+        2, 3, 12, 0},
+       {3, 2, -1, 21, 5, 6, 13, 8, 9, -1, 11, 12, 18, 16, 15, -1, 17, 20, 19,
+        -1, -1, 22, -1}},
+      // seed=108 n=32
+      {{19, 14, 31, 4, 12, 27, 17, 25, 11, 24, 5, 21, 26, 29, 28, 6, 16, 9, 0,
+        18, 22, 7, 3, 15, 30, 2, 10, 1, 13, 20, 23, 8},
+       {1, 4, 3, -1, 20, 6, 9, 8, 11, 10, -1, 19, 16, 14, 15, 29, 17, 18, -1,
+        23, 21, 22, 28, 26, 25, -1, 27, -1, -1, -1, 31, -1}},
+      // seed=109 n=47
+      {{2,  14, 42, 21, 39, 8,  20, 27, 6,  17, 23, 37, 13, 34, 18, 30,
+        7,  35, 41, 9,  25, 0,  3,  5,  1,  15, 33, 40, 28, 43, 12, 44,
+        22, 45, 32, 29, 46, 26, 24, 10, 31, 36, 38, 19, 11, 4,  16},
+       {-1, 7,  3,  6,  5,  10, 9,  8,  27, 15, 13, 12, 26, 14, 25, 16,
+        23, 20, 19, 22, 21, -1, -1, 24, -1, -1, 42, 28, 41, 30, -1, 32,
+        -1, 34, 35, 40, 37, 38, 39, -1, -1, 46, 43, 44, 45, -1, -1}},
+      // seed=110 n=64
+      {{10, 3,  48, 31, 61, 50, 51, 40, 39, 30, 42, 19, 14, 38, 46, 24,
+        34, 11, 25, 26, 59, 16, 18, 23, 53, 9,  52, 28, 36, 43, 27, 22,
+        2,  13, 5,  45, 63, 0,  33, 12, 62, 15, 55, 29, 4,  20, 37, 47,
+        21, 41, 49, 56, 54, 8,  58, 1,  32, 7,  6,  17, 44, 35, 57, 60},
+       {1,  -1, 3,  19, 5,  10, 7,  8,  9,  13, 11, 12, 24, 16, 15, 18,
+        17, -1, 23, 22, 21, -1, 47, 26, 25, 46, 27, 42, 33, 30, 31, 32,
+        -1, 34, 40, 38, 37, -1, 39, -1, 41, 45, 43, 44, -1, -1, 49, 48,
+        62, 60, 59, 52, 53, 56, 55, -1, 57, 58, -1, -1, 61, -1, -1, -1}},
+  };
+  for (std::size_t g = 0; g < goldens.size(); ++g) {
+    const Perm got = lis_kernel(goldens[g].perm);
+    const Perm want = Perm::from_rows(
+        goldens[g].kernel, static_cast<std::int64_t>(goldens[g].perm.size()));
+    ASSERT_EQ(got, want) << "golden " << g;
+  }
+}
+
+// >1000 random permutations across sizes: the level-order builder must be
+// bit-identical to the retained depth-first reference (which still issues
+// one engine call per merge).
+TEST(LisKernelLevelOrder, BitIdenticalToReferenceFuzz) {
+  Rng rng(20260729);
+  SeaweedEngine engine;
+  std::int64_t cases = 0;
+  while (cases < 1050) {
+    const std::int64_t n = rng.next_in(1, 130);
+    const auto p = rng.permutation(n);
+    ASSERT_EQ(lis_kernel(p, engine), lis_kernel_reference(p, engine))
+        << "case " << cases << " n=" << n;
+    ++cases;
+  }
+  // A few larger sizes so multiple merge levels exceed the base-case
+  // cutoff.
+  for (const std::int64_t n : {257, 512, 1000}) {
+    const auto p = rng.permutation(n);
+    ASSERT_EQ(lis_kernel(p, engine), lis_kernel_reference(p, engine))
+        << "n=" << n;
+  }
+}
+
+// Call-structure pin: the level-order builder issues exactly one batched
+// engine call per merge level — ceil(log2 n) calls total, vs the
+// reference's one call per merge.
+TEST(LisKernelLevelOrder, OneBatchedEngineCallPerLevel) {
+  Rng rng(2026);
+  for (const std::int64_t n : {1, 2, 3, 8, 9, 100, 128, 1000}) {
+    SeaweedEngine engine;
+    lis_kernel(rng.permutation(n), engine);
+    std::int64_t levels = 0;
+    while ((std::int64_t{1} << levels) < n) ++levels;  // ceil(log2 n)
+    EXPECT_EQ(engine.subunit_batch_calls(), levels) << "n=" << n;
+  }
+  // A forest shares levels: many inputs still cost one call per global
+  // level (the deepest input dominates).
+  SeaweedEngine engine;
+  std::vector<std::vector<std::int32_t>> perms;
+  for (const std::int64_t n : {64, 7, 1, 33}) perms.push_back(rng.permutation(n));
+  lis_kernel_batch(perms, engine);
+  EXPECT_EQ(engine.subunit_batch_calls(), 6);  // ceil(log2 64)
+}
+
+// lis_kernel_batch must match per-input lis_kernel (mixed sizes, including
+// empty and single-element inputs), sequentially and with a striping pool.
+TEST(LisKernelLevelOrder, BatchMatchesPerInput) {
+  Rng rng(424242);
+  std::vector<std::vector<std::int32_t>> perms;
+  for (const std::int64_t n : {17, 0, 1, 64, 5, 33, 128, 2, 0, 90}) {
+    perms.push_back(rng.permutation(n));
+  }
+  const auto batch = lis_kernel_batch(perms);
+  ASSERT_EQ(batch.size(), perms.size());
+  for (std::size_t t = 0; t < perms.size(); ++t) {
+    ASSERT_EQ(batch[t], lis_kernel(perms[t])) << "input " << t;
+  }
+  EXPECT_TRUE(lis_kernel_batch({}).empty());
+  for (const unsigned threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    SeaweedEngine striped({.parallel_grain = 64, .pool = &pool});
+    ASSERT_EQ(lis_kernel_batch(perms, striped), batch)
+        << "threads=" << threads;
   }
 }
 
