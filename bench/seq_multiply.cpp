@@ -8,6 +8,7 @@
 #include "monge/engine.h"
 #include "monge/seaweed.h"
 #include "monge/steady_ant.h"
+#include "monge/steady_ant_simd.h"
 #include "monge/subperm.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -308,6 +309,59 @@ void BM_NaiveMultiply(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_NaiveMultiply)->Range(1 << 5, 1 << 8)->Complexity();
+
+// ---------------------------------------------------------------------------
+// The full steady-ant combine, scalar vs the widest SIMD path in this
+// build: walk (blocked descent) + resolution (mask-select) + col-pack
+// scatter, on a warm scratch set. Any row coloring of a full permutation
+// is a valid H=2 union, so a random coloring measures the real combine.
+// A/B per the bench-noise protocol: interleaved repetitions, compare
+// medians (see "Reproducing BENCH_seq_multiply.json" in README).
+// ---------------------------------------------------------------------------
+
+struct CombineCase {
+  std::vector<std::int32_t> row_pk, col_pk, t, out;
+};
+
+CombineCase make_combine_case(std::int64_t n, Rng& rng) {
+  CombineCase c;
+  const auto rc = rng.permutation(n);
+  c.row_pk.resize(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    c.row_pk[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(
+        (rc[static_cast<std::size_t>(r)] << 1) |
+        static_cast<std::int32_t>(rng.next_below(2)));
+  }
+  c.col_pk.resize(static_cast<std::size_t>(n));
+  c.t.resize(static_cast<std::size_t>(n) + 1);
+  c.out.resize(static_cast<std::size_t>(n));
+  return c;
+}
+
+void run_combine_bench(benchmark::State& state, SteadyAntIsa isa) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  CombineCase c = make_combine_case(n, rng);
+  state.SetLabel(steady_ant_isa_name(isa));
+  for (auto _ : state) {
+    steady_ant_packed_into(isa, c.row_pk, c.col_pk, c.t, c.out);
+    benchmark::DoNotOptimize(c.out.data());
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_SteadyAntCombineScalar(benchmark::State& state) {
+  run_combine_bench(state, SteadyAntIsa::kScalar);
+}
+BENCHMARK(BM_SteadyAntCombineScalar)->Range(1 << 10, 1 << 18)->Complexity();
+
+// The widest ISA compiled in AND supported by this host (the dispatched
+// default, ignoring MONGE_FORCE_SCALAR so the A/B stays an A/B); the
+// label records which path ran.
+void BM_SteadyAntCombineSimd(benchmark::State& state) {
+  run_combine_bench(state, steady_ant_available_isas().back());
+}
+BENCHMARK(BM_SteadyAntCombineSimd)->Range(1 << 10, 1 << 18)->Complexity();
 
 void BM_SteadyAnt(benchmark::State& state) {
   const std::int64_t n = state.range(0);

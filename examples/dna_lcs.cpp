@@ -4,7 +4,10 @@
 // the worst case, n²/4 expected for DNA's 4-letter alphabet) and computes
 // the LCS as a strict LIS of the pair sequence — the regime the paper's
 // Corollary 1.3.1 addresses with m = n^{1+δ} machines.
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "lcs/hunt_szymanski.h"
@@ -42,9 +45,29 @@ std::string preview(const std::vector<std::int64_t>& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional ancestor length (default 600 bp). The match-pair count — and
+  // the simulated cluster work — grows quadratically, so CI smoke-runs
+  // pass a smaller size while the default stays a meaty demo.
+  std::int64_t length = 600;
+  if (argc > 1) {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(argv[1], &end, 10);
+    // The match-pair count is Θ(n²/4), so cap n where the demo stays
+    // tractable (10^4 → ~25M pairs, minutes of simulated-cluster work);
+    // the cap also rejects ERANGE-saturated values.
+    constexpr long long kMaxLength = 10'000;
+    if (end == argv[1] || *end != '\0' || errno == ERANGE || parsed < 4 ||
+        parsed > kMaxLength) {
+      std::fprintf(stderr, "usage: %s [ancestor_length in [4, %lld]]\n",
+                   argv[0], kMaxLength);
+      return 1;
+    }
+    length = parsed;
+  }
   Rng rng(42);
-  std::vector<std::int64_t> ancestor(600);
+  std::vector<std::int64_t> ancestor(static_cast<std::size_t>(length));
   for (auto& b : ancestor) b = rng.next_in(0, 3);
   const auto fragment_a = mutate(ancestor, 0.15, rng);
   const auto fragment_b = mutate(ancestor, 0.15, rng);

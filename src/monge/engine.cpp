@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "monge/steady_ant_simd.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,17 @@ class Arena {
 // corrupting memory. All sizes depend only on n (full permutations split
 // exactly m / n-m), so the budget is data-independent.
 // ---------------------------------------------------------------------------
+
+/// The public-entry-point guard for kSeaweedEngineMaxN (see engine.h): the
+/// packed (coord << 1) | color int32 representation the combine uses
+/// overflows past 2^30, so every dimension is rejected with a clear error
+/// instead of silently running into UB.
+void check_size_limit(std::size_t size, const char* what) {
+  MONGE_CHECK_MSG(size <= static_cast<std::size_t>(kSeaweedEngineMaxN),
+                  "SeaweedEngine packs (coord, color) into one int32 and "
+                  "supports dimensions up to 2^30; "
+                      << what << " = " << size << " exceeds the limit");
+}
 
 std::size_t base_case_bytes(std::int64_t n) {
   return 3 * slot_bytes<std::int32_t>((n + 1) * (n + 1));
@@ -188,72 +200,6 @@ void base_case(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
 }
 
 // ---------------------------------------------------------------------------
-// The steady-ant combine into caller-provided scratch (same walk as
-// steady_ant.cpp). Points are packed as (coord << 1) | color in one int32:
-// `row_pk[r]` holds the column+color of row r's point, `col_pk[c]` the
-// row+color of column c's point; this halves the loads in the walk. The
-// "interesting" cells (strict drops of t) are emitted during the walk
-// itself; the second pass only resolves the surviving non-interesting rows.
-// ---------------------------------------------------------------------------
-
-void steady_ant_into(std::span<const std::int32_t> row_pk,
-                     std::span<std::int32_t> col_pk, std::span<std::int32_t> t,
-                     std::span<std::int32_t> out) {
-  const auto n = static_cast<std::int64_t>(row_pk.size());
-  for (std::int64_t r = 0; r < n; ++r) {
-    const std::int32_t pk = row_pk[static_cast<std::size_t>(r)];
-    const std::int32_t c = pk >> 1;
-    MONGE_DCHECK(c >= 0 && c < n);
-    col_pk[static_cast<std::size_t>(c)] =
-        static_cast<std::int32_t>((r << 1) | (pk & 1));
-  }
-#ifndef NDEBUG
-  std::fill(out.begin(), out.end(), kNone);
-#endif
-  std::int64_t i = n;
-  std::int64_t delta = 0;
-  t[0] = static_cast<std::int32_t>(n);
-  for (std::int64_t j = 0; j < n; ++j) {
-    const std::int32_t pk = col_pk[static_cast<std::size_t>(j)];
-    const std::int32_t pr = pk >> 1;
-    delta += (pk & 1) == 0 ? (pr >= i ? 1 : 0) : (pr < i ? 1 : 0);
-    const std::int64_t prev = i;
-    while (delta > 0) {
-      MONGE_DCHECK(i > 0);
-      --i;
-      const std::int32_t qk = row_pk[static_cast<std::size_t>(i)];
-      const std::int32_t qc = qk >> 1;
-      delta -= (qk & 1) == 0 ? (qc >= j + 1 ? 1 : 0) : (qc < j + 1 ? 1 : 0);
-    }
-    t[static_cast<std::size_t>(j) + 1] = static_cast<std::int32_t>(i);
-    if (i < prev) {
-      // Interesting cell (Lemma 3.9): t drops strictly at column j.
-      MONGE_DCHECK(out[static_cast<std::size_t>(i)] == kNone);
-      out[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(j);
-    }
-  }
-  // Every other cell: PC(r,c) = PC,e(r,c) with e = opt(r+1, c+1).
-  for (std::int64_t r = 0; r < n; ++r) {
-    const std::int32_t pk = row_pk[static_cast<std::size_t>(r)];
-    const std::int64_t c = pk >> 1;
-    if (r == t[static_cast<std::size_t>(c) + 1] &&
-        r + 1 <= t[static_cast<std::size_t>(c)]) {
-      continue;  // interesting cell, already placed during the walk
-    }
-    const std::int32_t e = (r + 1 <= t[static_cast<std::size_t>(c) + 1]) ? 0 : 1;
-    if ((pk & 1) == e) {
-      MONGE_DCHECK(out[static_cast<std::size_t>(r)] == kNone);
-      out[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(c);
-    }
-  }
-#ifndef NDEBUG
-  for (std::int64_t r = 0; r < n; ++r) {
-    MONGE_DCHECK(out[static_cast<std::size_t>(r)] != kNone);
-  }
-#endif
-}
-
-// ---------------------------------------------------------------------------
 // The recursion.
 // ---------------------------------------------------------------------------
 
@@ -356,7 +302,9 @@ void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
   }
 
   // Expand both results back to the n×n grid (a full colored permutation,
-  // packed as (col << 1) | color per row) and combine with the steady ant.
+  // packed as (col << 1) | color per row) and combine with the steady ant —
+  // the blocked, ISA-dispatched walk in steady_ant_simd.h (bit-identical
+  // to the scalar reference; MONGE_FORCE_SCALAR pins it back to scalar).
   {
     const std::size_t scratch = arena.mark();
     auto row_pk = arena.alloc<std::int32_t>(n);
@@ -373,7 +321,7 @@ void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
            << 1) |
           1;
     }
-    steady_ant_into(row_pk, col_pk, t, out);
+    steady_ant_packed_into(row_pk, col_pk, t, out);
     arena.rewind(scratch);
   }
   arena.rewind(frame);
@@ -587,20 +535,26 @@ void subunit_solve(PermView a, PermView b, std::int64_t b_cols,
 void check_subunit_shapes(PermView a, PermView b, std::int64_t b_cols,
                           std::span<const std::int32_t> out) {
   MONGE_CHECK(out.size() == a.size() && b_cols >= 0);
-  MONGE_CHECK_MSG(b.size() <= (1u << 30),
-                  "SeaweedEngine packs (col, color) into one int32 and "
-                  "supports n up to 2^30");
+  check_size_limit(a.size(), "a.size()");
+  check_size_limit(b.size(), "b.size()");
+  check_size_limit(static_cast<std::size_t>(b_cols), "b_cols");
 }
 
 }  // namespace
 
 SeaweedEngine::SeaweedEngine(SeaweedEngineOptions options)
     : options_(options) {
-  // The upper clamp keeps the O(cutoff^3) dense base case from dominating
-  // when a caller passes something absurd (the sweet spot is ~4-16).
-  options_.base_case_cutoff =
-      std::clamp<std::int64_t>(options_.base_case_cutoff, 1, 256);
-  options_.parallel_grain = std::max<std::int64_t>(options_.parallel_grain, 2);
+  // Validate instead of silently rewriting the caller's knobs: a rejected
+  // value is a caller bug worth surfacing, and options() must always
+  // report exactly what was requested. The upper cutoff bound keeps the
+  // O(cutoff^3) dense base case from dominating (the sweet spot is ~4-16).
+  MONGE_CHECK_MSG(
+      options_.base_case_cutoff >= 1 && options_.base_case_cutoff <= 256,
+      "SeaweedEngineOptions::base_case_cutoff must be in [1, 256], got "
+          << options_.base_case_cutoff);
+  MONGE_CHECK_MSG(options_.parallel_grain >= 2,
+                  "SeaweedEngineOptions::parallel_grain must be >= 2, got "
+                      << options_.parallel_grain);
 }
 
 std::size_t SeaweedEngine::arena_bytes_for(std::int64_t n) const {
@@ -625,9 +579,7 @@ void SeaweedEngine::multiply_into(std::span<const std::int32_t> a,
                                   std::span<const std::int32_t> b,
                                   std::span<std::int32_t> out) {
   MONGE_CHECK(a.size() == b.size() && out.size() == a.size());
-  MONGE_CHECK_MSG(a.size() <= (1u << 30),
-                  "SeaweedEngine packs (col, color) into one int32 and "
-                  "supports n up to 2^30");
+  check_size_limit(a.size(), "n");
 #ifndef NDEBUG
   dcheck_full_permutation(a);
   dcheck_full_permutation(b);
@@ -657,9 +609,7 @@ void SeaweedEngine::multiply_batch_into(
       [&](std::size_t i) {
         MONGE_CHECK(pairs[i].first.size() == pairs[i].second.size() &&
                     outs[i].size() == pairs[i].first.size());
-        MONGE_CHECK_MSG(pairs[i].first.size() <= (1u << 30),
-                        "SeaweedEngine packs (col, color) into one int32 and "
-                        "supports n up to 2^30");
+        check_size_limit(pairs[i].first.size(), "n");
 #ifndef NDEBUG
         dcheck_full_permutation(pairs[i].first);
         dcheck_full_permutation(pairs[i].second);
@@ -697,22 +647,27 @@ void SeaweedEngine::subunit_multiply_batch_into(
     std::span<const SubunitPairView> pairs,
     std::span<const std::span<std::int32_t>> outs) {
   MONGE_CHECK(pairs.size() == outs.size());
+  if (!pairs.empty()) {
+    Plan plan{options_.base_case_cutoff, options_.parallel_grain,
+              options_.pool, size_cache_};
+    solve_batch(
+        pairs.size(), plan,
+        [this](std::size_t bytes) { return arena_span(bytes); },
+        [&](std::size_t i) {
+          check_subunit_shapes(pairs[i].a, pairs[i].b, pairs[i].b_cols,
+                               outs[i]);
+          return subunit_node_bytes(
+              plan, static_cast<std::int64_t>(pairs[i].a.size()),
+              static_cast<std::int64_t>(pairs[i].b.size()), pairs[i].b_cols);
+        },
+        [&](std::size_t i, Arena& arena) {
+          subunit_solve(pairs[i].a, pairs[i].b, pairs[i].b_cols, outs[i],
+                        arena, plan);
+        });
+  }
+  // Count completed calls only — a batch rejected by validation (or that
+  // threw mid-solve) was not served.
   ++subunit_batch_calls_;
-  if (pairs.empty()) return;
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
-  solve_batch(
-      pairs.size(), plan, [this](std::size_t bytes) { return arena_span(bytes); },
-      [&](std::size_t i) {
-        check_subunit_shapes(pairs[i].a, pairs[i].b, pairs[i].b_cols, outs[i]);
-        return subunit_node_bytes(
-            plan, static_cast<std::int64_t>(pairs[i].a.size()),
-            static_cast<std::int64_t>(pairs[i].b.size()), pairs[i].b_cols);
-      },
-      [&](std::size_t i, Arena& arena) {
-        subunit_solve(pairs[i].a, pairs[i].b, pairs[i].b_cols, outs[i], arena,
-                      plan);
-      });
 }
 
 std::vector<std::vector<std::int32_t>> SeaweedEngine::subunit_multiply_raw_batch(

@@ -8,21 +8,34 @@
 // distribution-matrix base case (the arena version of multiply_naive), and
 // above a configurable grain size it forks the two independent lo/hi
 // subproblems onto a ThreadPool (fork-join with caller work-helping, so
-// nested forks cannot deadlock). The result is bit-identical to
+// nested forks cannot deadlock). The per-node combine is the steady-ant
+// walk dispatched through steady_ant_simd.h (blocked descent + mask-select
+// resolution on the widest ISA the host offers; MONGE_FORCE_SCALAR pins it
+// back to the scalar walk). The result is bit-identical to
 // seaweed_multiply_reference_raw for every input: PA ⊡ PB is unique and
-// both paths implement the same combine.
+// every combine path reproduces the same bits.
+//
+// Input-size limit: the combine packs each point as (coord << 1) | color
+// in one int32, so every dimension a public entry point accepts (n for the
+// full-permutation paths; a.size(), b.size() and b_cols for the subunit
+// paths) must be <= kSeaweedEngineMaxN = 2^30. Larger inputs throw a clear
+// std::logic_error up front — the limit is checked at every public entry
+// point, never silently truncated into UB.
 //
 // Knobs (SeaweedEngineOptions):
 //   * base_case_cutoff — subproblems of size <= cutoff are solved by the
 //     dense (min,+) base case instead of recursing. The dense solve is
 //     O(k^3) but branch-light and allocation-free, so it wins for small k;
 //     the default is tuned on bench/seq_multiply (see README). Set to 1 to
-//     force the pure recursion (useful in tests). Clamped to [1, 256] —
-//     the cubic base case turns pathological far below that bound.
+//     force the pure recursion (useful in tests). Must be in [1, 256] —
+//     the cubic base case turns pathological far below the upper bound —
+//     and construction throws on out-of-range values instead of silently
+//     rewriting the knob.
 //   * parallel_grain — subproblems larger than this fork their lo/hi
 //     halves onto the pool; smaller ones run sequentially on the calling
-//     thread. Scheduling never affects results (subproblems write disjoint
-//     arena slices), only wall-clock.
+//     thread. Must be >= 2 (a size-1 subproblem cannot fork; construction
+//     throws below that). Scheduling never affects results (subproblems
+//     write disjoint arena slices), only wall-clock.
 //   * pool — optional ThreadPool; nullptr means fully sequential. The
 //     engine never owns the pool.
 //
@@ -58,15 +71,24 @@ namespace monge {
 
 class ThreadPool;
 
-/// Tuning knobs for a SeaweedEngine. Fixed at construction; see the file
-/// comment for how each knob trades off. None of them affect results —
-/// only wall-clock and arena footprint.
+/// Largest size any SeaweedEngine entry point accepts, in every dimension
+/// (n for full permutations; rows, inner size and b_cols for the subunit
+/// paths). The steady-ant combine packs each point as (coord << 1) | color
+/// in one int32, which overflows past 2^30; inputs beyond the limit throw
+/// std::logic_error at the public entry points.
+inline constexpr std::int64_t kSeaweedEngineMaxN = std::int64_t{1} << 30;
+
+/// Tuning knobs for a SeaweedEngine. Fixed and validated at construction
+/// (out-of-range values throw std::logic_error rather than being silently
+/// rewritten, so options() always reports exactly what the caller chose);
+/// see the file comment for how each knob trades off. None of them affect
+/// results — only wall-clock and arena footprint.
 struct SeaweedEngineOptions {
   /// Subproblems of size <= cutoff use the dense O(k^3) base case.
-  /// Clamped to [1, 256] at construction.
+  /// Must be in [1, 256]; validated at construction.
   std::int64_t base_case_cutoff = 8;
-  /// Subproblems larger than this fork onto `pool` (when set). Clamped to
-  /// >= 2 at construction.
+  /// Subproblems larger than this fork onto `pool` (when set). Must be
+  /// >= 2; validated at construction.
   std::int64_t parallel_grain = 1 << 13;
   /// Optional fork-join pool; nullptr runs fully sequential. Borrowed,
   /// never owned: the pool must outlive the engine's calls that use it.
@@ -92,9 +114,10 @@ struct SubunitPairView {
 
 class SeaweedEngine {
  public:
-  /// Constructs an engine with the given knobs (clamped as documented on
-  /// SeaweedEngineOptions). The arena starts empty and grows monotonically
-  /// across calls; construction itself does not allocate scratch.
+  /// Constructs an engine with the given knobs (validated as documented on
+  /// SeaweedEngineOptions; out-of-range values throw std::logic_error).
+  /// The arena starts empty and grows monotonically across calls;
+  /// construction itself does not allocate scratch.
   ///
   /// @param options tuning knobs; copied, fixed for the engine's lifetime.
   explicit SeaweedEngine(SeaweedEngineOptions options = {});
@@ -220,14 +243,17 @@ class SeaweedEngine {
   std::vector<std::vector<std::int32_t>> subunit_multiply_raw_batch(
       std::span<const SubunitPairView> pairs);
 
-  /// @return the engine's knobs (as clamped at construction).
+  /// @return the engine's knobs, exactly as passed at construction (the
+  ///     constructor validates instead of clamping, so the effective
+  ///     values never differ from the requested ones).
   const SeaweedEngineOptions& options() const { return options_; }
 
   /// Number of subunit_multiply_batch_into calls this engine has served
-  /// (one per LIS-kernel merge level; for tests asserting the O(log n)
-  /// call structure).
+  /// to completion — calls that threw (validation or solve) are not
+  /// counted. One per LIS-kernel merge level; for tests asserting the
+  /// O(log n) call structure.
   ///
-  /// @return the lifetime batched-subunit call count.
+  /// @return the lifetime completed batched-subunit call count.
   std::int64_t subunit_batch_calls() const { return subunit_batch_calls_; }
 
   /// Current arena capacity in bytes (grows monotonically; for tests and

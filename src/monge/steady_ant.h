@@ -39,4 +39,20 @@ std::vector<std::int64_t> steady_ant_thresholds(
 Perm steady_ant_combine(const Perm& union_perm,
                         const std::vector<std::uint8_t>& row_color);
 
+/// The packed scalar combine — the SeaweedEngine's hot-loop contract and
+/// the differential oracle for the SIMD paths in steady_ant_simd.h.
+///
+/// Points are packed as (coord << 1) | color in one int32: `row_pk[r]`
+/// holds the column+color of row r's point. `col_pk` (size n) and `t`
+/// (size n + 1) are caller-provided scratch, overwritten with the
+/// column->row+color packs and the demarcation thresholds; `out[r]`
+/// receives the combined product's column of row r. This is the branchy
+/// reference walk (data-dependent descent, per-row resolution branch);
+/// every accelerated path must reproduce its `out`, `t` and `col_pk`
+/// bit-for-bit.
+void steady_ant_packed_scalar(std::span<const std::int32_t> row_pk,
+                              std::span<std::int32_t> col_pk,
+                              std::span<std::int32_t> t,
+                              std::span<std::int32_t> out);
+
 }  // namespace monge

@@ -1,0 +1,97 @@
+// The AVX2 steady-ant kernel lives in its own translation unit: CMake
+// compiles this file with -mavx2 (and defines MONGE_STEADY_ANT_ENABLE_AVX2)
+// when the compiler supports the flag, so the intrinsics inline into the
+// blocked walk. Nothing in this TU may be reached without the runtime
+// feature check in steady_ant_simd.cpp passing — the dispatcher guards
+// every call behind __builtin_cpu_supports("avx2") — and the TU is kept
+// LEAN (see steady_ant_simd_impl.h): it must emit no shared inline
+// symbols, because an AVX2-encoded comdat copy of, say, check_failed
+// could be selected by the linker program-wide and executed on a host the
+// feature check would have rejected. Enforced three ways: LEAN compiles
+// out every check-machinery dependency, the block ops use compiler
+// builtins instead of std inline templates, and CMake forces -O2 on this
+// file so even Debug builds emit only the two kernel symbols (nm-verified).
+#include "monge/steady_ant_simd.h"
+
+#if defined(MONGE_STEADY_ANT_ENABLE_AVX2)
+
+#include <immintrin.h>
+
+#define MONGE_STEADY_ANT_SIMD_LEAN 1
+#include "monge/steady_ant_simd_impl.h"
+
+namespace monge::detail {
+
+namespace {
+
+/// AVX2 block primitives (W = 8): 8-lane step compares for the descent and
+/// a hardware-gathered (vpgatherdd) threshold load + blendv resolution.
+struct Avx2Ops {
+  static constexpr std::int64_t kWidth = 8;
+
+  static std::uint32_t step_mask(const std::int32_t* rows, std::int32_t thr) {
+    const __m256i pk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows));
+    const __m256i one = _mm256_set1_epi32(1);
+    // (pk > thr) XOR (pk odd), both as 0/-1 lane masks.
+    const __m256i gt = _mm256_cmpgt_epi32(pk, _mm256_set1_epi32(thr));
+    const __m256i odd = _mm256_cmpeq_epi32(_mm256_and_si256(pk, one), one);
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_xor_si256(gt, odd))));
+  }
+
+  static void resolve_block(const std::int32_t* rows, std::int32_t r0,
+                            const std::int32_t* t, std::int32_t* out) {
+    const __m256i pk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows));
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i c = _mm256_srli_epi32(pk, 1);
+    const __m256i tcp1 =
+        _mm256_i32gather_epi32(t, _mm256_add_epi32(c, one), 4);
+    const __m256i rv = _mm256_add_epi32(
+        _mm256_set1_epi32(r0), _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+    // e = [r >= t[c+1]] = NOT (t[c+1] > r); write iff odd == e.
+    const __m256i not_e = _mm256_cmpgt_epi32(tcp1, rv);
+    const __m256i odd = _mm256_cmpeq_epi32(_mm256_and_si256(pk, one), one);
+    const __m256i wr = _mm256_xor_si256(odd, not_e);
+    const __m256i old =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                        _mm256_blendv_epi8(old, c, wr));
+  }
+};
+
+}  // namespace
+
+bool steady_ant_avx2_compiled() { return true; }
+
+void steady_ant_packed_avx2(std::span<const std::int32_t> row_pk,
+                            std::span<std::int32_t> col_pk,
+                            std::span<std::int32_t> t,
+                            std::span<std::int32_t> out) {
+  combine_blocked<Avx2Ops>(row_pk, col_pk, t, out);
+}
+
+}  // namespace monge::detail
+
+#else  // !MONGE_STEADY_ANT_ENABLE_AVX2
+
+// Stubs only; this branch is compiled WITHOUT -mavx2, so pulling in the
+// shared check machinery is safe here.
+#include "monge/steady_ant_simd_impl.h"
+#include "util/check.h"
+
+namespace monge::detail {
+
+bool steady_ant_avx2_compiled() { return false; }
+
+void steady_ant_packed_avx2(std::span<const std::int32_t> /*row_pk*/,
+                            std::span<std::int32_t> /*col_pk*/,
+                            std::span<std::int32_t> /*t*/,
+                            std::span<std::int32_t> /*out*/) {
+  MONGE_CHECK_MSG(false, "AVX2 steady-ant path not compiled into this binary");
+}
+
+}  // namespace monge::detail
+
+#endif  // MONGE_STEADY_ANT_ENABLE_AVX2

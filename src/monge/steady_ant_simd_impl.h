@@ -1,0 +1,154 @@
+// Internal: the blocked steady-ant combine shared by every SIMD kernel.
+// Included only by the steady_ant_simd*.cpp translation units — each
+// instantiates combine_blocked<Ops> with its ISA's block primitives, so
+// the walk's control flow is written exactly once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+// Hot-loop invariants: MONGE_DCHECK normally, compiled out entirely when
+// the including TU defines MONGE_STEADY_ANT_SIMD_LEAN. The -mavx2 TU must
+// stay lean: any shared inline symbol it emits (check_failed, the
+// ostringstream machinery, std::fill) would be an AVX2-encoded comdat the
+// linker may select program-wide — reachable WITHOUT the runtime feature
+// check, i.e. a latent SIGILL on pre-AVX2 hosts. The scalar/SSE2/NEON
+// instantiations keep full debug checking, and the differential tests pin
+// the lean path against them bit-for-bit.
+#if defined(MONGE_STEADY_ANT_SIMD_LEAN)
+#define MONGE_SA_DCHECK(expr) \
+  do {                        \
+  } while (0)
+#define MONGE_SA_DEBUG_VERIFY 0
+#else
+#include <algorithm>
+
+#include "monge/permutation.h"
+#include "util/check.h"
+#define MONGE_SA_DCHECK(expr) MONGE_DCHECK(expr)
+#ifndef NDEBUG
+#define MONGE_SA_DEBUG_VERIFY 1
+#else
+#define MONGE_SA_DEBUG_VERIFY 0
+#endif
+#endif
+
+namespace monge::detail {
+
+// Per-ISA kernels, defined in their own translation units (the AVX2 one is
+// compiled with -mavx2, so its symbols must only be reached after runtime
+// feature detection). When a path is compiled out, its *_compiled() stub
+// returns false and the kernel stub throws.
+bool steady_ant_avx2_compiled();
+void steady_ant_packed_avx2(std::span<const std::int32_t> row_pk,
+                            std::span<std::int32_t> col_pk,
+                            std::span<std::int32_t> t,
+                            std::span<std::int32_t> out);
+
+// The Ops contract each ISA provides:
+//   static constexpr std::int64_t kWidth;
+//       block width in 32-bit lanes (a power of two, <= 32).
+//   static std::uint32_t step_mask(const std::int32_t* rows,
+//                                  std::int32_t thr);
+//       the Lemma 3.4 row steps for kWidth packed rows at column boundary
+//       j + 1, with thr = 2 * j + 1: bit b is set iff
+//       (rows[b] > thr) XOR (rows[b] & 1) — i.e. iff descending past that
+//       row decrements delta.
+//   static void resolve_block(const std::int32_t* rows, std::int32_t r0,
+//                             const std::int32_t* t, std::int32_t* out);
+//       the Lemma 3.7–3.10 resolution for rows [r0, r0 + kWidth) as a
+//       mask-select: lane b writes c = rows[b] >> 1 into out[b] iff the
+//       point's color equals e = [r0 + b >= t[c + 1]], else keeps out[b].
+//
+// Why the mask-select needs no "interesting cell" test: an interesting
+// cell (r, c) has r == t[c+1] (so e = 1) and was already written as
+// out[r] = c by the walk; rewriting the same value when the color is 1 is
+// idempotent, and rows whose point fails the color test keep the walk's
+// value untouched. This is exactly the scalar pass's final state.
+template <typename Ops>
+void combine_blocked(std::span<const std::int32_t> row_pk,
+                     std::span<std::int32_t> col_pk,
+                     std::span<std::int32_t> t,
+                     std::span<std::int32_t> out) {
+  constexpr std::int64_t W = Ops::kWidth;
+  static_assert(W >= 2 && W <= 32 && (W & (W - 1)) == 0);
+  const auto n = static_cast<std::int64_t>(row_pk.size());
+
+  // Column packs: same scalar scatter as the reference walk (data-dependent
+  // store addresses; gather/scatter-free ISAs cannot improve on it).
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int32_t pk = row_pk[static_cast<std::size_t>(r)];
+    const std::int32_t c = pk >> 1;
+    MONGE_SA_DCHECK(c >= 0 && c < n);
+    col_pk[static_cast<std::size_t>(c)] =
+        static_cast<std::int32_t>((r << 1) | (pk & 1));
+  }
+#if MONGE_SA_DEBUG_VERIFY
+  std::fill(out.begin(), out.end(), kNone);
+#endif
+
+  // The Lemma 3.3/3.4 walk with a blocked descent. delta is 0 or 1 at
+  // every point (each column adds at most one and the descent drains it
+  // to zero), so descending means: find the nearest row below i whose
+  // step bit is set. Instead of stepping one row per iteration, grab the
+  // step bits of the W rows below i in one vector compare — hop the whole
+  // block when the mask is empty, land on its top set bit otherwise.
+  std::int64_t i = n;
+  std::int64_t delta = 0;
+  t[0] = static_cast<std::int32_t>(n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int32_t pk = col_pk[static_cast<std::size_t>(j)];
+    const std::int32_t pr = pk >> 1;
+    delta += (pk & 1) == 0 ? (pr >= i ? 1 : 0) : (pr < i ? 1 : 0);
+    const std::int64_t prev = i;
+    const auto thr = static_cast<std::int32_t>(2 * j + 1);
+    while (delta > 0) {
+      if (i >= W) {
+        const std::uint32_t mask =
+            Ops::step_mask(row_pk.data() + (i - W), thr);
+        if (mask == 0) {
+          i -= W;
+          continue;
+        }
+        // Bit b of mask is row i - W + b; land on the top set bit — the
+        // row where the scalar loop pauses. (__builtin_clz, not
+        // std::countl_zero: the std template is a weak comdat a LEAN TU
+        // must not emit, see above, and the builtin always inlines; the
+        // mask is nonzero here, satisfying its precondition.)
+        i = i - W + (31 - __builtin_clz(mask));
+        --delta;
+      } else {
+        MONGE_SA_DCHECK(i > 0);
+        --i;
+        const std::int32_t qk = row_pk[static_cast<std::size_t>(i)];
+        delta -= ((qk > thr) != ((qk & 1) != 0)) ? 1 : 0;
+      }
+    }
+    t[static_cast<std::size_t>(j) + 1] = static_cast<std::int32_t>(i);
+    if (i < prev) {
+      // Interesting cell (Lemma 3.9): t drops strictly at column j.
+      out[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(j);
+    }
+  }
+
+  // Resolution pass as a mask-select over row_pk (see the Ops contract
+  // comment above for why this matches the scalar pass bit-for-bit).
+  std::int64_t r = 0;
+  for (; r + W <= n; r += W) {
+    Ops::resolve_block(row_pk.data() + r, static_cast<std::int32_t>(r),
+                       t.data(), out.data() + r);
+  }
+  for (; r < n; ++r) {
+    const std::int32_t pk = row_pk[static_cast<std::size_t>(r)];
+    const std::int32_t c = pk >> 1;
+    const bool e = r >= t[static_cast<std::size_t>(c) + 1];
+    if (((pk & 1) != 0) == e) out[static_cast<std::size_t>(r)] = c;
+  }
+#if MONGE_SA_DEBUG_VERIFY
+  for (std::int64_t rr = 0; rr < n; ++rr) {
+    MONGE_SA_DCHECK(out[static_cast<std::size_t>(rr)] != kNone);
+  }
+#endif
+}
+
+}  // namespace monge::detail

@@ -79,6 +79,62 @@ TEST(SeaweedEngine, EmptyAndTiny) {
             (std::vector<std::int32_t>{0}));
 }
 
+// Knobs are validated at construction — out-of-range values throw instead
+// of being silently rewritten, so options() always reports exactly what
+// the caller requested.
+TEST(SeaweedEngine, RejectsOutOfRangeOptions) {
+  EXPECT_THROW(SeaweedEngine({.base_case_cutoff = 0}), std::logic_error);
+  EXPECT_THROW(SeaweedEngine({.base_case_cutoff = -5}), std::logic_error);
+  EXPECT_THROW(SeaweedEngine({.base_case_cutoff = 257}), std::logic_error);
+  EXPECT_THROW(SeaweedEngine({.base_case_cutoff = 1 << 20}), std::logic_error);
+  EXPECT_THROW(SeaweedEngine({.parallel_grain = 1}), std::logic_error);
+  EXPECT_THROW(SeaweedEngine({.parallel_grain = 0}), std::logic_error);
+  EXPECT_THROW(SeaweedEngine({.parallel_grain = -1}), std::logic_error);
+  // Boundary values construct, and options() echoes them verbatim.
+  const SeaweedEngine lo({.base_case_cutoff = 1, .parallel_grain = 2});
+  EXPECT_EQ(lo.options().base_case_cutoff, 1);
+  EXPECT_EQ(lo.options().parallel_grain, 2);
+  const SeaweedEngine hi({.base_case_cutoff = 256});
+  EXPECT_EQ(hi.options().base_case_cutoff, 256);
+}
+
+// Inputs beyond kSeaweedEngineMaxN = 2^30 would overflow the packed
+// (coord << 1) | color int32 representation; every public entry point must
+// reject them with a clear error up front. Sizes are validated before any
+// element is touched, so spans with an oversize extent over a dummy
+// element never get dereferenced. (Materializing 4 GiB views instead is
+// not an option here; the fabricated extent technically violates the
+// span-constructor range precondition, which no shipping standard library
+// can or does check — if one ever grows full bounds metadata, swap these
+// for allocation-backed views.)
+TEST(SeaweedEngine, RejectsOversizeInputs) {
+  SeaweedEngine engine;
+  const auto huge =
+      static_cast<std::size_t>(kSeaweedEngineMaxN) + 1;
+  std::int32_t dummy = 0;
+  const std::span<const std::int32_t> big(&dummy, huge);
+  std::span<std::int32_t> big_out(&dummy, huge);
+  EXPECT_THROW(engine.multiply_into(big, big, big_out), std::logic_error);
+  const std::vector<PermPairView> pairs{{big, big}};
+  const std::vector<std::span<std::int32_t>> outs{big_out};
+  EXPECT_THROW(engine.multiply_batch_into(pairs, outs), std::logic_error);
+  // Subunit paths: every dimension is guarded, including b_cols.
+  const std::vector<std::int32_t> a{0, 1};
+  const std::vector<std::int32_t> b{0, 1};
+  std::vector<std::int32_t> out(2);
+  EXPECT_THROW(
+      engine.subunit_multiply_into(a, b, kSeaweedEngineMaxN + 1, out),
+      std::logic_error);
+  EXPECT_THROW(engine.subunit_multiply_into(big, b, 2, big_out),
+               std::logic_error);
+  const std::vector<SubunitPairView> spairs{{a, big, 2}};
+  const std::vector<std::span<std::int32_t>> souts{out};
+  EXPECT_THROW(engine.subunit_multiply_batch_into(spairs, souts),
+               std::logic_error);
+  // The engine stays usable after a rejected call.
+  EXPECT_EQ(engine.subunit_multiply_raw(a, b, 2), a);
+}
+
 // The arena is sized once: repeating a multiply of the same (or smaller)
 // size must not grow the buffer.
 TEST(SeaweedEngine, ArenaIsReusedAcrossCalls) {
