@@ -1,13 +1,14 @@
 // google-benchmark: wall-clock of the applications — sequential patience
-// sorting, the sequential kernel, the Hunt–Szymanski LCS, and the whole
-// simulated MPC LIS (which pays simulation overhead; the model's metric is
-// rounds, reported by the fig_* binaries).
+// sorting, the sequential kernel (direct substrate baseline + the
+// monge::Solver facade route), the Hunt–Szymanski LCS, and the whole
+// simulated MPC LIS driven through the facade (which pays simulation
+// overhead; the model's metric is rounds, reported by the fig_* binaries).
 #include <benchmark/benchmark.h>
 
+#include "api/solver.h"
 #include "bench_common.h"
 #include "lcs/hunt_szymanski.h"
 #include "lis/kernel.h"
-#include "lis/mpc_lis.h"
 #include "lis/sequential.h"
 
 using namespace monge;
@@ -47,12 +48,34 @@ void BM_LisKernelPerMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_LisKernelPerMerge)->Range(1 << 8, 1 << 13)->Complexity();
 
+// The facade kernel route: the same LisRequest a service client would
+// send (sequence in, kernel out), paying the strict-LIS rank reduction on
+// top of the lis_kernel build that BM_LisKernelSeq measures directly.
+void BM_SolverLisKernel(benchmark::State& state) {
+  Rng rng(2);
+  const auto p = rng.permutation(state.range(0));
+  LisRequest req;
+  req.want_kernel = true;
+  req.seq.assign(p.begin(), p.end());
+  Solver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(req));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolverLisKernel)->Range(1 << 8, 1 << 13)->Complexity();
+
+// The whole simulated MPC LIS through the facade; the per-iteration Solver
+// mirrors the fresh per-iteration cluster the direct call used (cluster
+// construction/provisioning is part of the measured service cost).
 void BM_MpcLisSimulated(benchmark::State& state) {
   const std::int64_t n = state.range(0);
-  const auto seq = bench::random_sequence(n, 3);
+  LisRequest req;
+  req.seq = bench::random_sequence(n, 3);
   for (auto _ : state) {
-    mpc::Cluster cluster(bench::scaled_cluster(n, 0.5));
-    benchmark::DoNotOptimize(lis::mpc_lis(cluster, seq));
+    Solver solver({.backend = SolverBackend::kMpcSim,
+                   .cluster = bench::scaled_cluster(n, 0.5)});
+    benchmark::DoNotOptimize(solver.solve(req));
   }
 }
 BENCHMARK(BM_MpcLisSimulated)->Range(1 << 8, 1 << 11);

@@ -1,9 +1,11 @@
 // google-benchmark: the sequential substrate. The arena-backed SeaweedEngine
 // vs the legacy per-node-allocating recursion it replaced, engine knob
 // sweeps (base-case cutoff, thread scaling), the O(n^3) distribution-matrix
-// oracle (crossover is immediate), plus the steady-ant combine on its own.
+// oracle (crossover is immediate), the steady-ant combine on its own, and
+// the monge::Solver facade dispatch overhead vs the direct engine call.
 #include <benchmark/benchmark.h>
 
+#include "api/solver.h"
 #include "monge/distribution.h"
 #include "monge/engine.h"
 #include "monge/seaweed.h"
@@ -297,6 +299,46 @@ void BM_SubunitBatchSingles(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * pairs);
 }
 BENCHMARK(BM_SubunitBatchSingles)->Arg(64)->Arg(256)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Facade dispatch overhead: the same Perm-in/Perm-out full multiply once
+// through monge::Solver (request validation + routing + result wrapping)
+// and once as the direct engine call the facade delegates to. Results are
+// bit-identical by construction; the delta is the cost of the facade —
+// an O(1) shape check, the backend switch and the result move (the O(n)
+// full-permutation content check is NOT paid twice; the engine's own
+// validating entry point does it once). The true delta is sub-noise on
+// the 1-CPU dev box, so this A/B needs elevated repetitions:
+// --benchmark_repetitions=41 --benchmark_enable_random_interleaving=true,
+// compare medians (see README) — the acceptance bar is <= 2%.
+// ---------------------------------------------------------------------------
+
+void BM_SolverDispatch(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const MultiplyRequest req{Perm::random(n, rng), Perm::random(n, rng)};
+  Solver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(req));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SolverDispatch)->Range(1 << 8, 1 << 14)->Complexity();
+
+// The delegate BM_SolverDispatch wraps: SeaweedEngine::multiply on an
+// equally warm engine (same validation, same output Perm construction).
+void BM_SolverDispatchDirect(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Perm a = Perm::random(n, rng);
+  const Perm b = Perm::random(n, rng);
+  SeaweedEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.multiply(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SolverDispatchDirect)->Range(1 << 8, 1 << 14)->Complexity();
 
 void BM_NaiveMultiply(benchmark::State& state) {
   const std::int64_t n = state.range(0);

@@ -1,0 +1,23 @@
+# Cross toolchain: build the library and tests for aarch64 on an x86-64
+# host, with qemu-user as the test-time emulator. Used by the CI
+# cross-aarch64 job to exercise the NEON steady-ant kernel (the only ISA
+# path no native runner covers); see .github/workflows/ci.yml.
+#
+#   cmake -B build-aarch64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# Let the cross sysroot win for libraries/headers while host CMake keeps
+# finding its own programs. Package roots passed explicitly (GTest_ROOT)
+# still take priority over the root path.
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+
+# Lets ctest (and any add_custom_command test runner) execute the cross
+# binaries when qemu-user is installed; the CI job also invokes
+# qemu-aarch64 explicitly so a missing emulator fails loudly, not weirdly.
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64;-L;/usr/aarch64-linux-gnu")

@@ -2,14 +2,15 @@
 //
 // A service reports a latency sample per minute. "Trend strength" of any
 // time window is the LIS of the window — long increasing runs indicate
-// sustained degradation. The semi-local LIS kernel (Corollary 1.3.2) is
-// built ONCE in O(log n) rounds and then answers every window query
-// offline, instead of re-running LIS per window.
+// sustained degradation. One windowed LisRequest on the MPC backend builds
+// the semi-local LIS kernel (Corollary 1.3.2) ONCE in O(log n) rounds and
+// answers every window query offline, instead of re-running LIS per
+// window.
 #include <cstdio>
 
-#include "lis/kernel.h"
-#include "lis/mpc_lis.h"
+#include "api/solver.h"
 #include "lis/sequential.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -20,39 +21,40 @@ int main() {
   // degradation ramps.
   const std::int64_t n = 1440;
   Rng rng(7);
-  std::vector<std::int64_t> latency(static_cast<std::size_t>(n));
+  LisRequest req;
+  req.seq.resize(static_cast<std::size_t>(n));
   for (std::int64_t t = 0; t < n; ++t) {
     std::int64_t base = 200 + rng.next_in(-40, 40);
     if (t >= 300 && t < 420) base += (t - 300) * 3;   // morning incident
     if (t >= 1000 && t < 1300) base += (t - 1000);    // slow afternoon leak
-    latency[static_cast<std::size_t>(t)] = base;
+    req.seq[static_cast<std::size_t>(t)] = base;
   }
-
-  mpc::Cluster cluster(mpc::MpcConfig::fully_scalable(n, 0.5));
-  const auto res = lis::mpc_lis(cluster, latency);
-  std::printf("built semi-local LIS kernel for %lld samples in %lld MPC "
-              "rounds\n\n",
-              static_cast<long long>(n), static_cast<long long>(res.rounds));
 
   // Scan every 2-hour window at 30-minute stride via one offline batch.
-  std::vector<std::pair<std::int64_t, std::int64_t>> windows;
   for (std::int64_t start = 0; start + 120 <= n; start += 30) {
-    windows.push_back({start, start + 119});
+    req.windows.push_back({start, start + 119});
   }
-  const auto trend = lis::kernel_window_lis_batch(res.kernel, windows);
+
+  Solver solver({.backend = SolverBackend::kMpcSim, .mpc_delta = 0.5});
+  const LisResult res = solver.solve(req);
+  std::printf("built semi-local LIS kernel for %lld samples in %lld MPC "
+              "rounds, answered %zu windows offline\n\n",
+              static_cast<long long>(n), static_cast<long long>(res.rounds),
+              res.window_lis.size());
 
   Table t({"window (min)", "LIS (trend strength)", "alert?"});
-  for (std::size_t w = 0; w < windows.size(); ++w) {
-    const bool alert = trend[w] > 70;  // >58% of the window rising
+  for (std::size_t w = 0; w < req.windows.size(); ++w) {
+    const std::int64_t trend = res.window_lis[w];
+    const bool alert = trend > 70;  // >58% of the window rising
     if (w % 4 == 0 || alert) {
-      t.add_row({std::to_string(windows[w].first) + ".." +
-                     std::to_string(windows[w].second),
-                 std::to_string(trend[w]), alert ? "ALERT" : ""});
+      t.add_row({std::to_string(req.windows[w].first) + ".." +
+                     std::to_string(req.windows[w].second),
+                 std::to_string(trend), alert ? "ALERT" : ""});
     }
     // Cross-check a few against patience sorting.
     if (w % 10 == 0) {
-      MONGE_CHECK(trend[w] == lis::lis_window(latency, windows[w].first,
-                                              windows[w].second));
+      MONGE_CHECK(trend == lis::lis_window(req.seq, req.windows[w].first,
+                                           req.windows[w].second));
     }
   }
   std::printf("%s\n", t.to_string().c_str());

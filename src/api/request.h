@@ -1,0 +1,83 @@
+// Typed request/result structs for the monge::Solver facade.
+//
+// A request is pure data: the inputs of one of the library's deliverables
+// (Theorem 1.1 full multiply, Theorem 1.2 subunit multiply, Theorem 1.3
+// LIS with the semi-local kernel and windowed queries, Corollary 1.3.1
+// LCS). Which algorithm actually runs — the sequential engine, the
+// simulated MPC cluster, or the retained reference oracles — is chosen by
+// the Solver's backend, never by the request; the same request can be
+// replayed against every backend, which is exactly what the bit-identity
+// tests do.
+//
+// Results carry the existing reports/stats unchanged: the MPC backend
+// fills core::MpcMultiplyReport / round counts, the other backends leave
+// them zero. See api/solver.h for the routing table.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/mpc_multiply.h"
+#include "monge/permutation.h"
+
+namespace monge {
+
+/// One product PC = PA ⊡ PB.
+struct MultiplyRequest {
+  enum class Kind {
+    kFull = 0,     ///< full n×n permutations (Theorem 1.1)
+    kSubunit = 1,  ///< sub-permutations, shapes rA×n2 · n2×cB (Theorem 1.2)
+  };
+
+  Perm a;  ///< PA; full permutation for kFull, sub-permutation for kSubunit.
+  Perm b;  ///< PB with b.rows() == a.cols().
+  Kind kind = Kind::kFull;
+};
+
+struct MultiplyResult {
+  Perm c;  ///< the product PA ⊡ PB.
+  /// Round/space accounting of the cluster call. Filled by the MpcSim
+  /// backend; all-zero for Sequential and Reference.
+  core::MpcMultiplyReport report{};
+};
+
+/// LIS of a sequence (duplicates allowed; strict LIS), optionally with the
+/// semi-local kernel and an offline batch of window queries.
+struct LisRequest {
+  std::vector<std::int64_t> seq;  ///< the input sequence.
+  /// Build and return the semi-local kernel (Corollary 1.3.2). Without it
+  /// a length-only request routes to the cheapest length algorithm of the
+  /// backend (patience sorting on Sequential).
+  bool want_kernel = false;
+  /// Inclusive [l, r] windows answered offline; l > r is a legitimate
+  /// empty window (answers 0). Non-empty implies a kernel is built
+  /// internally (except on the Reference backend, which answers windows
+  /// with the per-window patience oracle).
+  std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+};
+
+struct LisResult {
+  std::int64_t lis = 0;  ///< LIS of the whole sequence.
+  Perm kernel;           ///< populated iff LisRequest::want_kernel.
+  /// One answer per LisRequest::windows entry, in input order.
+  std::vector<std::int64_t> window_lis;
+  std::int64_t rounds = 0;        ///< MPC rounds consumed (MpcSim only).
+  std::int64_t merge_levels = 0;  ///< kernel merge-tree levels (MpcSim only).
+};
+
+/// LCS of two sequences via the Hunt–Szymanski reduction to strict LIS.
+struct LcsRequest {
+  std::vector<std::int64_t> s;
+  std::vector<std::int64_t> t;
+};
+
+struct LcsResult {
+  std::int64_t lcs = 0;
+  /// Size of the HS match sequence (the LIS input; what the MPC cluster
+  /// must be provisioned for). Filled by every backend.
+  std::int64_t matches = 0;
+  std::int64_t rounds = 0;  ///< MPC rounds consumed (MpcSim only).
+};
+
+}  // namespace monge

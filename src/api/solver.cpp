@@ -1,0 +1,374 @@
+#include "api/solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/mpc_subperm.h"
+#include "lcs/hunt_szymanski.h"
+#include "lcs/mpc_lcs.h"
+#include "lis/kernel.h"
+#include "lis/mpc_lis.h"
+#include "lis/sequential.h"
+#include "monge/seaweed.h"
+#include "monge/subperm.h"
+#include "util/check.h"
+
+namespace monge {
+
+namespace {
+
+using MultiplyKind = MultiplyRequest::Kind;
+
+/// O(1) shape validation shared by solve and solve_batch. Full-permutation
+/// *content* validation is O(n) and most delegates (SeaweedEngine::multiply,
+/// the subunit compaction, the MPC batch prep) already perform it, so the
+/// facade only adds validate_multiply_full on the routes whose delegate
+/// does not — never paying the check twice on the dispatch hot path.
+void validate_multiply_shape(const MultiplyRequest& req) {
+  MONGE_CHECK_MSG(req.a.cols() == req.b.rows(),
+                  "MultiplyRequest inner dimensions disagree: "
+                      << req.a.cols() << " vs " << req.b.rows());
+  MONGE_CHECK_MSG(
+      req.kind == MultiplyKind::kFull || req.kind == MultiplyKind::kSubunit,
+      "MultiplyRequest.kind is not a valid Kind");
+}
+
+/// Full-permutation content check for kFull requests routed to delegates
+/// that take raw arrays on trust (the reference recursion, the engine's
+/// release-mode batch entry points).
+void validate_multiply_full(const MultiplyRequest& req) {
+  if (req.kind == MultiplyKind::kFull) {
+    MONGE_CHECK_MSG(req.a.is_full_permutation() && req.b.is_full_permutation(),
+                    "MultiplyRequest kFull requires full permutations (use "
+                    "kSubunit for sub-permutations)");
+  }
+}
+
+/// The core problem size an MpcSim multiply pays for: n for full pairs,
+/// the inner dimension n2 (the §4.1 padded size) for subunit pairs.
+std::int64_t mpc_multiply_size(const MultiplyRequest& req) {
+  return req.kind == MultiplyKind::kFull ? req.a.rows() : req.a.cols();
+}
+
+}  // namespace
+
+const char* solver_backend_name(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::kSequential:
+      return "sequential";
+    case SolverBackend::kMpcSim:
+      return "mpc-sim";
+    case SolverBackend::kReference:
+      return "reference";
+  }
+  MONGE_CHECK_MSG(false, "invalid SolverBackend");
+}
+
+Solver::Solver(SolverOptions options)
+    : options_(std::move(options)), engine_(options_.engine) {
+  MONGE_CHECK_MSG(options_.backend == SolverBackend::kSequential ||
+                      options_.backend == SolverBackend::kMpcSim ||
+                      options_.backend == SolverBackend::kReference,
+                  "SolverOptions.backend is not a valid SolverBackend");
+  MONGE_CHECK_MSG(options_.cluster.num_machines >= 0,
+                  "SolverOptions.cluster.num_machines must be >= 0 (0 = "
+                  "auto-provision)");
+  if (options_.cluster.num_machines > 0) {
+    MONGE_CHECK_MSG(options_.cluster.space_words >= 1,
+                    "SolverOptions.cluster.space_words must be >= 1");
+  }
+  MONGE_CHECK_MSG(options_.mpc_delta > 0.0 && options_.mpc_delta < 1.0,
+                  "SolverOptions.mpc_delta must be in (0, 1), got "
+                      << options_.mpc_delta);
+  MONGE_CHECK_MSG(options_.mpc_slack > 0.0,
+                  "SolverOptions.mpc_slack must be > 0, got "
+                      << options_.mpc_slack);
+  MONGE_CHECK_MSG(options_.multiply.split_h >= 0 &&
+                      options_.multiply.tree_fanout >= 0 &&
+                      options_.multiply.box_g >= 0,
+                  "SolverOptions.multiply knobs must be >= 0 (0 = paper "
+                  "schedule)");
+  MONGE_CHECK_MSG(options_.lis_leaf_classes >= 0,
+                  "SolverOptions.lis_leaf_classes must be >= 0 (0 = number "
+                  "of machines)");
+}
+
+mpc::Cluster& Solver::provisioned_cluster(std::int64_t n) {
+  mpc::MpcConfig want = options_.cluster;
+  if (want.num_machines <= 0) {
+    want = mpc::MpcConfig::fully_scalable(std::max<std::int64_t>(n, 1),
+                                          options_.mpc_delta,
+                                          options_.mpc_slack,
+                                          options_.mpc_strict);
+    want.threads = options_.cluster.threads;
+  }
+  const bool reusable = cluster_ &&
+                        want.num_machines == cluster_cfg_.num_machines &&
+                        want.space_words == cluster_cfg_.space_words &&
+                        want.strict == cluster_cfg_.strict &&
+                        want.threads == cluster_cfg_.threads;
+  if (!reusable) {
+    cluster_.reset();  // release the old pool before spinning a new one
+    cluster_ = std::make_unique<mpc::Cluster>(want);
+    cluster_cfg_ = want;
+  }
+  return *cluster_;
+}
+
+lis::MpcLisOptions Solver::mpc_lis_options() const {
+  lis::MpcLisOptions o;
+  o.multiply = options_.multiply;
+  o.leaf_classes = options_.lis_leaf_classes;
+  return o;
+}
+
+MultiplyResult Solver::solve(const MultiplyRequest& req) {
+  validate_multiply_shape(req);
+  MultiplyResult out;
+  switch (options_.backend) {
+    case SolverBackend::kSequential:
+      out.c = req.kind == MultiplyKind::kFull
+                  ? engine_.multiply(req.a, req.b)  // validates content
+                  : subunit_multiply(req.a, req.b, engine_);
+      break;
+    case SolverBackend::kReference:
+      validate_multiply_full(req);  // the raw reference takes inputs on trust
+      out.c = req.kind == MultiplyKind::kFull
+                  ? Perm::from_rows(
+                        seaweed_multiply_reference_raw(req.a.row_to_col(),
+                                                       req.b.row_to_col()),
+                        req.b.cols())
+                  : subunit_multiply_padded(req.a, req.b, engine_);
+      break;
+    case SolverBackend::kMpcSim: {
+      mpc::Cluster& cluster = provisioned_cluster(mpc_multiply_size(req));
+      out.c = req.kind == MultiplyKind::kFull
+                  ? core::mpc_unit_monge_multiply(cluster, req.a, req.b,
+                                                  options_.multiply,
+                                                  &out.report)
+                  : core::mpc_subunit_multiply(cluster, req.a, req.b,
+                                               options_.multiply, &out.report);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<MultiplyResult> Solver::solve_batch(
+    std::span<const MultiplyRequest> reqs) {
+  std::vector<MultiplyResult> out(reqs.size());
+  std::vector<std::size_t> full_idx, sub_idx;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    validate_multiply_shape(reqs[i]);
+    (reqs[i].kind == MultiplyKind::kFull ? full_idx : sub_idx).push_back(i);
+  }
+
+  switch (options_.backend) {
+    case SolverBackend::kSequential: {
+      // One batched engine call per request kind: the whole group shares
+      // one arena sizing and stripes across the engine pool when set.
+      if (!full_idx.empty()) {
+        std::vector<std::vector<std::int32_t>> bufs(full_idx.size());
+        std::vector<PermPairView> views;
+        std::vector<std::span<std::int32_t>> outs;
+        views.reserve(full_idx.size());
+        outs.reserve(full_idx.size());
+        for (std::size_t j = 0; j < full_idx.size(); ++j) {
+          const MultiplyRequest& req = reqs[full_idx[j]];
+          // multiply_batch_into validates content in debug builds only, so
+          // the facade keeps the single-call rejection behavior here.
+          validate_multiply_full(req);
+          bufs[j].resize(static_cast<std::size_t>(req.a.rows()));
+          views.push_back({req.a.row_to_col(), req.b.row_to_col()});
+          outs.push_back(bufs[j]);
+        }
+        engine_.multiply_batch_into(views, outs);
+        for (std::size_t j = 0; j < full_idx.size(); ++j) {
+          out[full_idx[j]].c = Perm::from_rows(std::move(bufs[j]),
+                                               reqs[full_idx[j]].b.cols());
+        }
+      }
+      if (!sub_idx.empty()) {
+        std::vector<std::vector<std::int32_t>> bufs(sub_idx.size());
+        std::vector<SubunitPairView> views;
+        std::vector<std::span<std::int32_t>> outs;
+        views.reserve(sub_idx.size());
+        outs.reserve(sub_idx.size());
+        for (std::size_t j = 0; j < sub_idx.size(); ++j) {
+          const MultiplyRequest& req = reqs[sub_idx[j]];
+          bufs[j].assign(static_cast<std::size_t>(req.a.rows()), kNone);
+          views.push_back(
+              {req.a.row_to_col(), req.b.row_to_col(), req.b.cols()});
+          outs.push_back(bufs[j]);
+        }
+        engine_.subunit_multiply_batch_into(views, outs);
+        for (std::size_t j = 0; j < sub_idx.size(); ++j) {
+          out[sub_idx[j]].c = Perm::from_rows(std::move(bufs[j]),
+                                              reqs[sub_idx[j]].b.cols());
+        }
+      }
+      break;
+    }
+    case SolverBackend::kReference:
+      for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = solve(reqs[i]);
+      break;
+    case SolverBackend::kMpcSim: {
+      // One *_batch cluster call per kind; every pair of a kind group
+      // shares rounds, and every result of the group carries the group's
+      // shared batch report.
+      std::int64_t max_n = 0;
+      for (const MultiplyRequest& req : reqs) {
+        max_n = std::max(max_n, mpc_multiply_size(req));
+      }
+      if (!full_idx.empty()) {
+        std::vector<std::pair<Perm, Perm>> pairs;
+        pairs.reserve(full_idx.size());
+        for (const std::size_t i : full_idx) {
+          pairs.emplace_back(reqs[i].a, reqs[i].b);
+        }
+        core::MpcMultiplyReport rep;
+        auto products = core::mpc_unit_monge_multiply_batch(
+            provisioned_cluster(max_n), pairs, options_.multiply, &rep);
+        for (std::size_t j = 0; j < full_idx.size(); ++j) {
+          out[full_idx[j]].c = std::move(products[j]);
+          out[full_idx[j]].report = rep;
+        }
+      }
+      if (!sub_idx.empty()) {
+        std::vector<std::pair<Perm, Perm>> pairs;
+        pairs.reserve(sub_idx.size());
+        for (const std::size_t i : sub_idx) {
+          pairs.emplace_back(reqs[i].a, reqs[i].b);
+        }
+        core::MpcMultiplyReport rep;
+        auto products = core::mpc_subunit_multiply_batch(
+            provisioned_cluster(max_n), pairs, options_.multiply, &rep);
+        for (std::size_t j = 0; j < sub_idx.size(); ++j) {
+          out[sub_idx[j]].c = std::move(products[j]);
+          out[sub_idx[j]].report = rep;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+LisResult Solver::solve(const LisRequest& req) {
+  LisResult out;
+  const bool need_kernel = req.want_kernel || !req.windows.empty();
+  switch (options_.backend) {
+    case SolverBackend::kSequential:
+      if (need_kernel) {
+        Perm kernel = lis::lis_kernel(lis::rank_reduce_strict(req.seq),
+                                      engine_);
+        out.lis = lis::lis_from_kernel(kernel);
+        if (!req.windows.empty()) {
+          out.window_lis = lis::kernel_window_lis_batch(kernel, req.windows);
+        }
+        if (req.want_kernel) out.kernel = std::move(kernel);
+      } else {
+        out.lis = lis::lis_length(req.seq);
+      }
+      break;
+    case SolverBackend::kReference:
+      out.lis = lis::lis_length_dp(req.seq);
+      if (req.want_kernel) {
+        out.kernel = lis::lis_kernel_reference(
+            lis::rank_reduce_strict(req.seq), engine_);
+      }
+      if (!req.windows.empty()) {
+        out.window_lis = lis::lis_window_batch(req.seq, req.windows);
+      }
+      break;
+    case SolverBackend::kMpcSim: {
+      mpc::Cluster& cluster = provisioned_cluster(
+          static_cast<std::int64_t>(req.seq.size()));
+      auto res = lis::mpc_lis(cluster, req.seq, mpc_lis_options());
+      out.lis = res.lis;
+      out.rounds = res.rounds;
+      out.merge_levels = res.merge_levels;
+      if (!req.windows.empty()) {
+        out.window_lis = lis::kernel_window_lis_batch(res.kernel, req.windows);
+      }
+      if (req.want_kernel) out.kernel = std::move(res.kernel);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<LisResult> Solver::solve_batch(std::span<const LisRequest> reqs) {
+  std::vector<LisResult> out(reqs.size());
+  if (options_.backend != SolverBackend::kSequential) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = solve(reqs[i]);
+    return out;
+  }
+  // Sequential: every kernel the batch needs is built through ONE
+  // lis_kernel_batch forest pass — one batched engine call per global
+  // merge level — while length-only requests route to patience sorting.
+  std::vector<std::vector<std::int32_t>> perms;
+  std::vector<std::size_t> kernel_idx;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].want_kernel || !reqs[i].windows.empty()) {
+      perms.push_back(lis::rank_reduce_strict(reqs[i].seq));
+      kernel_idx.push_back(i);
+    } else {
+      out[i].lis = lis::lis_length(reqs[i].seq);
+    }
+  }
+  if (kernel_idx.empty()) return out;
+  auto kernels = lis::lis_kernel_batch(perms, engine_);
+  for (std::size_t j = 0; j < kernel_idx.size(); ++j) {
+    const std::size_t i = kernel_idx[j];
+    out[i].lis = lis::lis_from_kernel(kernels[j]);
+    if (!reqs[i].windows.empty()) {
+      out[i].window_lis =
+          lis::kernel_window_lis_batch(kernels[j], reqs[i].windows);
+    }
+    if (reqs[i].want_kernel) out[i].kernel = std::move(kernels[j]);
+  }
+  return out;
+}
+
+LcsResult Solver::solve(const LcsRequest& req) {
+  LcsResult out;
+  switch (options_.backend) {
+    case SolverBackend::kSequential: {
+      // lcs_hs is lis_length over the match sequence; computing the
+      // sequence once serves both the count and the length bit-identically.
+      const auto seq = lcs::hs_match_sequence(req.s, req.t);
+      out.matches = static_cast<std::int64_t>(seq.size());
+      out.lcs = lis::lis_length(seq);
+      break;
+    }
+    case SolverBackend::kReference:
+      out.matches = static_cast<std::int64_t>(
+          lcs::hs_match_sequence(req.s, req.t).size());
+      out.lcs = lcs::lcs_dp(req.s, req.t);
+      break;
+    case SolverBackend::kMpcSim: {
+      // The cluster must be provisioned for the match count (the paper's
+      // m = n^{1+δ} regime) — the match sequence is the LIS input, so it
+      // is generated once and handed through.
+      const auto seq = lcs::hs_match_sequence(req.s, req.t);
+      mpc::Cluster& cluster =
+          provisioned_cluster(static_cast<std::int64_t>(seq.size()));
+      const auto res =
+          lcs::mpc_lcs_over_matches(cluster, seq, mpc_lis_options());
+      out.lcs = res.lcs;
+      out.matches = res.matches;
+      out.rounds = res.rounds;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<LcsResult> Solver::solve_batch(std::span<const LcsRequest> reqs) {
+  std::vector<LcsResult> out(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = solve(reqs[i]);
+  return out;
+}
+
+}  // namespace monge

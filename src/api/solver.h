@@ -1,0 +1,185 @@
+// monge::Solver — the unified, backend-pluggable request API.
+//
+// The paper's deliverables are implemented as free functions spread over
+// src/monge (engine, subunit), src/lis, src/lcs and src/core (the MPC
+// algorithms), each with its own engine/pool/options plumbing. Solver is
+// the service-style facade over all of them: construct one from
+// SolverOptions, then feed it typed requests (api/request.h) via solve()
+// and solve_batch(). The free functions stay public — the facade only
+// delegates, so every Solver result is bit-identical to the corresponding
+// direct call by construction (pinned by tests/test_solver.cpp).
+//
+// Routing table (request × backend → delegate):
+//
+// | Request            | kSequential                    | kMpcSim                          | kReference                  |
+// | ------------------ | ------------------------------ | -------------------------------- | --------------------------- |
+// | Multiply kFull     | SeaweedEngine::multiply        | core::mpc_unit_monge_multiply    | seaweed_multiply_reference_raw |
+// | Multiply kSubunit  | subunit_multiply               | core::mpc_subunit_multiply       | subunit_multiply_padded     |
+// | Multiply batch     | multiply_batch_into /          | core::mpc_*_multiply_batch       | per-pair reference calls    |
+// |                    | subunit_multiply_batch_into    | (rounds shared per level)        |                             |
+// | Lis length-only    | lis::lis_length (patience)     | lis::mpc_lis                     | lis::lis_length_dp          |
+// | Lis kernel         | lis::lis_kernel                | lis::mpc_lis                     | lis::lis_kernel_reference   |
+// | Lis windows        | kernel + kernel_window_lis_batch | mpc_lis kernel + same          | lis::lis_window_batch       |
+// | Lis batch (kernel) | lis::lis_kernel_batch          | per-request mpc_lis              | per-request reference       |
+// | Lcs                | lcs::lcs_hs                    | lcs::mpc_lcs                     | lcs::lcs_dp                 |
+//
+// Batching contract: a Sequential solve_batch costs exactly one batched
+// engine call per request kind — MultiplyRequest batches group into at
+// most one multiply_batch_into and one subunit_multiply_batch_into call
+// (one arena sizing each, striped across the engine pool when one is
+// configured), and LisRequest batches solve all kernels through one
+// lis_kernel_batch forest pass (one batched engine call per merge level).
+// The MpcSim backend routes multiply batches through the *_batch cluster
+// entry points, so all pairs of a batch share every round.
+//
+// Backend resources: the Solver owns one SeaweedEngine (arena reused
+// across requests) and, for the MpcSim backend, one lazily constructed
+// mpc::Cluster. The cluster is provisioned on first use — either from the
+// explicit SolverOptions::cluster config, or auto-sized per request via
+// MpcConfig::fully_scalable(n, mpc_delta, mpc_slack, mpc_strict) — and
+// reused while the computed config is unchanged (an auto-provisioned
+// request of a different size rebuilds it, exactly reproducing what a
+// direct caller constructing a fresh per-problem cluster would see; round
+// counts in results are per-request deltas either way).
+//
+// Thread compatibility: a Solver instance is NOT thread-safe (it owns one
+// engine arena and one cluster). Use one Solver per thread, or serialize
+// access externally; distinct Solver instances never share mutable state,
+// and results are bit-identical across instances and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/request.h"
+#include "lis/mpc_lis.h"
+#include "monge/engine.h"
+#include "mpc/cluster.h"
+
+namespace monge {
+
+/// Which implementation family a Solver routes requests to.
+enum class SolverBackend {
+  /// The arena-backed SeaweedEngine and the sequential LIS/LCS paths.
+  kSequential = 0,
+  /// The paper's MPC algorithms on the simulated cluster (rounds/space
+  /// accounting in the results).
+  kMpcSim = 1,
+  /// The retained reference oracles (textbook recursion, padded subunit
+  /// reduction, depth-first kernel, DP/patience oracles) — for
+  /// differential testing; asymptotically slower on some routes.
+  kReference = 2,
+};
+
+/// @return a stable human-readable name ("sequential", "mpc-sim",
+///     "reference") for logging and bench labels.
+const char* solver_backend_name(SolverBackend backend);
+
+/// Construction-time configuration of a Solver. Validated by the Solver
+/// constructor: invalid values throw std::logic_error (mirroring
+/// SeaweedEngineOptions semantics — never silently clamped).
+struct SolverOptions {
+  /// Implementation family every request routes to.
+  SolverBackend backend = SolverBackend::kSequential;
+
+  /// Knobs of the owned SeaweedEngine (base-case cutoff, parallel grain,
+  /// optional borrowed ThreadPool). Validated by the engine constructor.
+  SeaweedEngineOptions engine{};
+
+  /// MpcSim backend: explicit cluster config, used when num_machines > 0.
+  /// The default (num_machines == 0) auto-provisions
+  /// MpcConfig::fully_scalable(n, mpc_delta, mpc_slack, mpc_strict) from
+  /// each request's input size n (match count for LCS), reusing the
+  /// cluster while the computed config stays the same.
+  mpc::MpcConfig cluster{.num_machines = 0};
+  /// Auto-provisioning exponent δ: m = n^δ machines. Must be in (0, 1).
+  double mpc_delta = 0.5;
+  /// Auto-provisioning space slack (the Õ(·) constant). Must be > 0.
+  double mpc_slack = 24.0;
+  /// Auto-provisioned clusters throw SpaceLimitError on budget overruns.
+  bool mpc_strict = true;
+
+  /// Per-call multiply knobs for the MpcSim backend; zero-valued fields
+  /// resolve to the paper schedule inside core (identical to
+  /// core::paper_profile). Validated: no negative fields.
+  core::MpcMultiplyOptions multiply{};
+  /// lis::MpcLisOptions::leaf_classes for the MpcSim LIS driver
+  /// (0 = number of machines). Must be >= 0.
+  std::int64_t lis_leaf_classes = 0;
+};
+
+class Solver {
+ public:
+  /// Validates and fixes the options for the Solver's lifetime; throws
+  /// std::logic_error on invalid backend/engine/MPC knobs. Constructs the
+  /// engine (empty arena); the cluster is NOT constructed until the first
+  /// MpcSim-backend request.
+  explicit Solver(SolverOptions options = {});
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// One product PC = PA ⊡ PB (full or subunit). Validates shapes
+  /// (b.rows() == a.cols(); kFull additionally requires full
+  /// permutations). Bit-identical to the delegate in the routing table.
+  MultiplyResult solve(const MultiplyRequest& req);
+
+  /// LIS (strict) of req.seq, plus kernel/window answers when requested.
+  LisResult solve(const LisRequest& req);
+
+  /// LCS of req.s and req.t via the Hunt–Szymanski match sequence.
+  LcsResult solve(const LcsRequest& req);
+
+  /// Batched products, results in request order. Sequential: at most one
+  /// batched engine call per request kind (one arena sizing each, striped
+  /// across the pool when configured). MpcSim: one *_batch cluster call
+  /// per kind, all pairs sharing rounds (the report in every result of a
+  /// kind group is that group's shared batch report). Reference: per-pair
+  /// reference calls. Bit-identical to per-request solve() on the
+  /// Sequential and Reference backends.
+  std::vector<MultiplyResult> solve_batch(
+      std::span<const MultiplyRequest> reqs);
+
+  /// Batched LIS, results in request order. Sequential: every kernel the
+  /// batch needs is built through ONE lis_kernel_batch forest pass (one
+  /// batched engine call per merge level); length-only requests route to
+  /// patience sorting. MpcSim/Reference: per-request solve().
+  std::vector<LisResult> solve_batch(std::span<const LisRequest> reqs);
+
+  /// Batched LCS: per-request solve() on every backend (the HS match
+  /// generation has no shared fast path yet; documented, not hidden).
+  std::vector<LcsResult> solve_batch(std::span<const LcsRequest> reqs);
+
+  /// @return the options, exactly as validated at construction.
+  const SolverOptions& options() const { return options_; }
+
+  /// The owned engine (arena stats, subunit_batch_calls counters — the
+  /// Sequential backend's engine counters). Mutable access is safe only
+  /// between solve calls.
+  SeaweedEngine& engine() { return engine_; }
+  const SeaweedEngine& engine() const { return engine_; }
+
+  /// The lazily constructed cluster of the MpcSim backend, or nullptr if
+  /// no MpcSim request ran yet. Exposed for introspection (stats(),
+  /// machines(), space_words()); stats accumulate across requests —
+  /// results carry per-request round deltas.
+  mpc::Cluster* cluster() { return cluster_.get(); }
+  const mpc::Cluster* cluster() const { return cluster_.get(); }
+
+ private:
+  /// Returns the cluster to use for an MpcSim request of input size n,
+  /// (re)provisioning if none exists or the auto-computed config changed.
+  mpc::Cluster& provisioned_cluster(std::int64_t n);
+
+  /// Resolved lis::MpcLisOptions from the solver options.
+  lis::MpcLisOptions mpc_lis_options() const;
+
+  SolverOptions options_;
+  SeaweedEngine engine_;
+  std::unique_ptr<mpc::Cluster> cluster_;
+  mpc::MpcConfig cluster_cfg_{};  ///< config cluster_ was built with.
+};
+
+}  // namespace monge

@@ -7,12 +7,17 @@ namespace monge::lcs {
 MpcLcsResult mpc_lcs(mpc::Cluster& cluster, std::span<const std::int64_t> s,
                      std::span<const std::int64_t> t,
                      const lis::MpcLisOptions& options) {
+  return mpc_lcs_over_matches(cluster, hs_match_sequence(s, t), options);
+}
+
+MpcLcsResult mpc_lcs_over_matches(mpc::Cluster& cluster,
+                                  std::span<const std::int64_t> match_seq,
+                                  const lis::MpcLisOptions& options) {
   MpcLcsResult out;
   const std::int64_t start = cluster.rounds();
-  const auto seq = hs_match_sequence(s, t);
-  out.matches = static_cast<std::int64_t>(seq.size());
-  if (!seq.empty()) {
-    const auto lis = lis::mpc_lis(cluster, seq, options);
+  out.matches = static_cast<std::int64_t>(match_seq.size());
+  if (!match_seq.empty()) {
+    const auto lis = lis::mpc_lis(cluster, match_seq, options);
     out.lcs = lis.lis;
   }
   out.rounds = cluster.rounds() - start;

@@ -23,4 +23,13 @@ MpcLcsResult mpc_lcs(mpc::Cluster& cluster, std::span<const std::int64_t> s,
                      std::span<const std::int64_t> t,
                      const lis::MpcLisOptions& options = {});
 
+/// Same, over a precomputed hs_match_sequence(s, t). For callers that
+/// already needed the match sequence — e.g. to size the cluster from the
+/// match count, as monge::Solver does — so the worst-case-quadratic HS
+/// product is not generated twice. mpc_lcs delegates here; results and
+/// round accounting are identical.
+MpcLcsResult mpc_lcs_over_matches(mpc::Cluster& cluster,
+                                  std::span<const std::int64_t> match_seq,
+                                  const lis::MpcLisOptions& options = {});
+
 }  // namespace monge::lcs

@@ -12,11 +12,10 @@
 //     delivery (sorted by sender) regardless of scheduling.
 //
 // Messages are flat arrays of 64-bit words; typed helpers pack/unpack
-// trivially-copyable structs.
+// trivially-copyable structs through the shared codec in util/codec.h.
 #pragma once
 
 #include <cstdint>
-#include <cstring>
 #include <functional>
 #include <map>
 #include <span>
@@ -26,6 +25,7 @@
 
 #include "mpc/config.h"
 #include "util/check.h"
+#include "util/codec.h"
 #include "util/thread_pool.h"
 
 namespace monge::mpc {
@@ -59,18 +59,11 @@ struct Message {
   std::int64_t tag = 0;
   std::vector<Word> payload;
 
-  /// Decodes the payload as an array of T (trivially copyable, padded to
-  /// whole words by the sender).
+  /// Decodes the payload as an array of T (trivially copyable, packed by
+  /// send_items through the util/codec.h word codec).
   template <typename T>
   std::vector<T> decode() const {
-    static_assert(std::is_trivially_copyable_v<T>);
-    constexpr std::size_t wpe = (sizeof(T) + 7) / 8;
-    MONGE_CHECK(payload.size() % wpe == 0);
-    std::vector<T> out(payload.size() / wpe);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      std::memcpy(&out[i], payload.data() + i * wpe, sizeof(T));
-    }
-    return out;
+    return util::unpack_words<T>(payload);
   }
 };
 
@@ -94,16 +87,10 @@ class MachineCtx {
 
   void send(std::int64_t to, std::int64_t tag, std::vector<Word> payload);
 
-  /// Typed send: packs an array of T into words.
+  /// Typed send: packs an array of T into words (util/codec.h).
   template <typename T>
   void send_items(std::int64_t to, std::int64_t tag, std::span<const T> items) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    constexpr std::size_t wpe = (sizeof(T) + 7) / 8;
-    std::vector<Word> payload(items.size() * wpe, 0);
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      std::memcpy(payload.data() + i * wpe, &items[i], sizeof(T));
-    }
-    send(to, tag, std::move(payload));
+    send(to, tag, util::pack_words(items));
   }
 
  private:

@@ -1,0 +1,60 @@
+// Word codec for trivially-copyable items.
+//
+// The MPC simulator moves everything as flat arrays of 64-bit words
+// (mpc::Message payloads); typed senders/receivers pack and unpack arrays
+// of trivially-copyable structs, each item padded up to whole words. Both
+// halves of that codec used to live duplicated inside src/mpc/cluster.h
+// (MachineCtx::send_items / Message::decode); they are hoisted here so the
+// stride arithmetic and the memcpy loops exist exactly once.
+//
+// Contract: pack_words(items).size() == items.size() * kWordsPerItem<T>,
+// padding bytes are zero, and unpack_words<T>(pack_words<T>(items)) is the
+// identity for every trivially-copyable T (round-trip pinned by
+// tests/test_codec.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace monge::util {
+
+/// Number of 64-bit words one packed T occupies (sizeof(T) rounded up to
+/// whole words — the codec's stride).
+template <typename T>
+inline constexpr std::size_t kWordsPerItem = (sizeof(T) + 7) / 8;
+
+/// Packs an array of T into a flat word array, one kWordsPerItem<T> stride
+/// per item; padding bytes are zeroed so packed payloads compare equal.
+template <typename T>
+std::vector<std::int64_t> pack_words(std::span<const T> items) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  constexpr std::size_t wpe = kWordsPerItem<T>;
+  std::vector<std::int64_t> words(items.size() * wpe, 0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::memcpy(words.data() + i * wpe, &items[i], sizeof(T));
+  }
+  return words;
+}
+
+/// Inverse of pack_words: words.size() must be a whole number of item
+/// strides (checked — a truncated payload throws instead of misdecoding).
+template <typename T>
+std::vector<T> unpack_words(std::span<const std::int64_t> words) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  constexpr std::size_t wpe = kWordsPerItem<T>;
+  MONGE_CHECK_MSG(words.size() % wpe == 0,
+                  "payload of " << words.size() << " words is not a whole "
+                  "number of " << wpe << "-word items");
+  std::vector<T> items(words.size() / wpe);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::memcpy(&items[i], words.data() + i * wpe, sizeof(T));
+  }
+  return items;
+}
+
+}  // namespace monge::util

@@ -1,0 +1,77 @@
+// Round-trip tests for the word codec (util/codec.h) that the MPC
+// simulator's typed message helpers (MachineCtx::send_items /
+// Message::decode) are built on.
+#include "util/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace monge::util {
+namespace {
+
+struct ThreeInts {  // 12 bytes -> 2 words, 4 padding bytes
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  friend bool operator==(const ThreeInts&, const ThreeInts&) = default;
+};
+
+struct WordPair {  // 16 bytes -> exactly 2 words, no padding
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  friend bool operator==(const WordPair&, const WordPair&) = default;
+};
+
+TEST(Codec, WordsPerItemStride) {
+  EXPECT_EQ(kWordsPerItem<std::uint8_t>, 1u);
+  EXPECT_EQ(kWordsPerItem<std::int32_t>, 1u);
+  EXPECT_EQ(kWordsPerItem<std::int64_t>, 1u);
+  EXPECT_EQ(kWordsPerItem<ThreeInts>, 2u);
+  EXPECT_EQ(kWordsPerItem<WordPair>, 2u);
+}
+
+TEST(Codec, RoundTripFuzz) {
+  Rng rng(2024);
+  for (int it = 0; it < 200; ++it) {
+    const auto n = static_cast<std::size_t>(rng.next_below(64));
+    std::vector<ThreeInts> items(n);
+    for (auto& x : items) {
+      x.a = static_cast<std::int32_t>(rng.next_in(-1000000, 1000000));
+      x.b = static_cast<std::int32_t>(rng.next_in(-1000000, 1000000));
+      x.c = static_cast<std::int32_t>(rng.next_in(-1000000, 1000000));
+    }
+    const auto words = pack_words<ThreeInts>(items);
+    ASSERT_EQ(words.size(), n * kWordsPerItem<ThreeInts>);
+    EXPECT_EQ(unpack_words<ThreeInts>(words), items);
+  }
+}
+
+TEST(Codec, RoundTripScalarAndEmpty) {
+  const std::vector<std::int64_t> scalars{-1, 0, 1, INT64_MIN, INT64_MAX};
+  EXPECT_EQ(unpack_words<std::int64_t>(pack_words<std::int64_t>(scalars)),
+            scalars);
+  EXPECT_TRUE(pack_words<WordPair>({}).empty());
+  EXPECT_TRUE(unpack_words<WordPair>({}).empty());
+}
+
+TEST(Codec, PaddingBytesAreZeroed) {
+  // Equal items must produce bitwise-equal payloads: the 4 padding bytes
+  // of each ThreeInts stride are zeroed, never uninitialized.
+  const std::vector<ThreeInts> items{{1, 2, 3}, {1, 2, 3}};
+  const auto words = pack_words<ThreeInts>(items);
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], words[2]);
+  EXPECT_EQ(words[1], words[3]);
+}
+
+TEST(Codec, TruncatedPayloadThrows) {
+  const std::vector<std::int64_t> odd(3, 0);  // 3 words, 2-word stride
+  EXPECT_THROW(unpack_words<ThreeInts>(odd), std::logic_error);
+}
+
+}  // namespace
+}  // namespace monge::util

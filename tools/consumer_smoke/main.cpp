@@ -1,0 +1,35 @@
+// Consumer smoke test: exercises the installed monge package exactly the
+// way an external user would — find_package(monge), include the facade and
+// the generated version header, run a request per family, self-check.
+#include <cstdio>
+
+#include "api/solver.h"
+#include "monge/version.h"
+#include "util/rng.h"
+
+int main() {
+  monge::Rng rng(1);
+  monge::Solver solver;
+
+  const std::int64_t n = 256;
+  const monge::MultiplyRequest multiply{monge::Perm::random(n, rng),
+                                        monge::Perm::random(n, rng)};
+  const auto product = solver.solve(multiply);
+
+  const auto lis = solver.solve(monge::LisRequest{
+      .seq = {5, 1, 2, 9, 3, 4}, .want_kernel = true});  // LIS 1,2,3,4
+
+  const auto lcs = solver.solve(monge::LcsRequest{
+      .s = {1, 2, 3, 4, 5}, .t = {2, 9, 4, 5}});  // LCS 2,4,5
+
+  const bool ok = product.c.is_full_permutation() &&
+                  product.c.rows() == n && lis.lis == 4 &&
+                  lis.kernel.rows() == 6 && lcs.lcs == 3;
+  std::printf("monge %s consumer smoke: product %lldx%lld, lis=%lld, "
+              "lcs=%lld -> %s\n",
+              monge::kVersionString, static_cast<long long>(product.c.rows()),
+              static_cast<long long>(product.c.cols()),
+              static_cast<long long>(lis.lis),
+              static_cast<long long>(lcs.lcs), ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}
