@@ -1,6 +1,8 @@
 #include "api/solver.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/mpc_subperm.h"
@@ -64,33 +66,52 @@ const char* solver_backend_name(SolverBackend backend) {
   MONGE_CHECK_MSG(false, "invalid SolverBackend");
 }
 
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kInvalidRequest:
+      return "invalid-request";
+    case SolveStatus::kSpaceLimit:
+      return "space-limit";
+    case SolveStatus::kFault:
+      return "fault";
+    case SolveStatus::kCodec:
+      return "codec";
+    case SolveStatus::kInternalError:
+      return "internal-error";
+  }
+  MONGE_CHECK_MSG(false, "invalid SolveStatus");
+}
+
 Solver::Solver(SolverOptions options)
     : options_(std::move(options)), engine_(options_.engine) {
-  MONGE_CHECK_MSG(options_.backend == SolverBackend::kSequential ||
-                      options_.backend == SolverBackend::kMpcSim ||
-                      options_.backend == SolverBackend::kReference,
-                  "SolverOptions.backend is not a valid SolverBackend");
-  MONGE_CHECK_MSG(options_.cluster.num_machines >= 0,
-                  "SolverOptions.cluster.num_machines must be >= 0 (0 = "
-                  "auto-provision)");
+  const auto require = [](bool ok, const std::string& what) {
+    if (!ok) throw InvalidRequestError(what);
+  };
+  require(options_.backend == SolverBackend::kSequential ||
+              options_.backend == SolverBackend::kMpcSim ||
+              options_.backend == SolverBackend::kReference,
+          "SolverOptions.backend is not a valid SolverBackend");
+  require(options_.cluster.num_machines >= 0,
+          "SolverOptions.cluster.num_machines must be >= 0 (0 = "
+          "auto-provision)");
   if (options_.cluster.num_machines > 0) {
-    MONGE_CHECK_MSG(options_.cluster.space_words >= 1,
-                    "SolverOptions.cluster.space_words must be >= 1");
+    require(options_.cluster.space_words >= 1,
+            "SolverOptions.cluster.space_words must be >= 1");
   }
-  MONGE_CHECK_MSG(options_.mpc_delta > 0.0 && options_.mpc_delta < 1.0,
-                  "SolverOptions.mpc_delta must be in (0, 1), got "
-                      << options_.mpc_delta);
-  MONGE_CHECK_MSG(options_.mpc_slack > 0.0,
-                  "SolverOptions.mpc_slack must be > 0, got "
-                      << options_.mpc_slack);
-  MONGE_CHECK_MSG(options_.multiply.split_h >= 0 &&
-                      options_.multiply.tree_fanout >= 0 &&
-                      options_.multiply.box_g >= 0,
-                  "SolverOptions.multiply knobs must be >= 0 (0 = paper "
-                  "schedule)");
-  MONGE_CHECK_MSG(options_.lis_leaf_classes >= 0,
-                  "SolverOptions.lis_leaf_classes must be >= 0 (0 = number "
-                  "of machines)");
+  require(options_.mpc_delta > 0.0 && options_.mpc_delta < 1.0,
+          "SolverOptions.mpc_delta must be in (0, 1), got " +
+              std::to_string(options_.mpc_delta));
+  require(options_.mpc_slack > 0.0,
+          "SolverOptions.mpc_slack must be > 0, got " +
+              std::to_string(options_.mpc_slack));
+  require(options_.multiply.split_h >= 0 && options_.multiply.tree_fanout >= 0 &&
+              options_.multiply.box_g >= 0,
+          "SolverOptions.multiply knobs must be >= 0 (0 = paper schedule)");
+  require(options_.lis_leaf_classes >= 0,
+          "SolverOptions.lis_leaf_classes must be >= 0 (0 = number of "
+          "machines)");
 }
 
 mpc::Cluster& Solver::provisioned_cluster(std::int64_t n) {
@@ -101,12 +122,11 @@ mpc::Cluster& Solver::provisioned_cluster(std::int64_t n) {
                                           options_.mpc_slack,
                                           options_.mpc_strict);
     want.threads = options_.cluster.threads;
+    // Chaos knobs carry over into auto-provisioned clusters.
+    want.faults = options_.cluster.faults;
+    want.checkpoint_interval = options_.cluster.checkpoint_interval;
   }
-  const bool reusable = cluster_ &&
-                        want.num_machines == cluster_cfg_.num_machines &&
-                        want.space_words == cluster_cfg_.space_words &&
-                        want.strict == cluster_cfg_.strict &&
-                        want.threads == cluster_cfg_.threads;
+  const bool reusable = cluster_ && want == cluster_cfg_;
   if (!reusable) {
     cluster_.reset();  // release the old pool before spinning a new one
     cluster_ = std::make_unique<mpc::Cluster>(want);
@@ -123,9 +143,14 @@ lis::MpcLisOptions Solver::mpc_lis_options() const {
 }
 
 MultiplyResult Solver::solve(const MultiplyRequest& req) {
+  return solve_on(options_.backend, req);
+}
+
+MultiplyResult Solver::solve_on(SolverBackend backend,
+                                const MultiplyRequest& req) {
   validate_multiply_shape(req);
   MultiplyResult out;
-  switch (options_.backend) {
+  switch (backend) {
     case SolverBackend::kSequential:
       out.c = req.kind == MultiplyKind::kFull
                   ? engine_.multiply(req.a, req.b)  // validates content
@@ -255,9 +280,13 @@ std::vector<MultiplyResult> Solver::solve_batch(
 }
 
 LisResult Solver::solve(const LisRequest& req) {
+  return solve_on(options_.backend, req);
+}
+
+LisResult Solver::solve_on(SolverBackend backend, const LisRequest& req) {
   LisResult out;
   const bool need_kernel = req.want_kernel || !req.windows.empty();
-  switch (options_.backend) {
+  switch (backend) {
     case SolverBackend::kSequential:
       if (need_kernel) {
         Perm kernel = lis::lis_kernel(lis::rank_reduce_strict(req.seq),
@@ -332,8 +361,12 @@ std::vector<LisResult> Solver::solve_batch(std::span<const LisRequest> reqs) {
 }
 
 LcsResult Solver::solve(const LcsRequest& req) {
+  return solve_on(options_.backend, req);
+}
+
+LcsResult Solver::solve_on(SolverBackend backend, const LcsRequest& req) {
   LcsResult out;
-  switch (options_.backend) {
+  switch (backend) {
     case SolverBackend::kSequential: {
       // lcs_hs is lis_length over the match sequence; computing the
       // sequence once serves both the count and the length bit-identically.
@@ -369,6 +402,102 @@ std::vector<LcsResult> Solver::solve_batch(std::span<const LcsRequest> reqs) {
   std::vector<LcsResult> out(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = solve(reqs[i]);
   return out;
+}
+
+namespace {
+
+/// monge::Error codes map 1:1 onto SolveStatus values.
+SolveStatus status_of(const Error& e) {
+  switch (e.code()) {
+    case ErrorCode::kInvalidRequest:
+      return SolveStatus::kInvalidRequest;
+    case ErrorCode::kCodec:
+      return SolveStatus::kCodec;
+    case ErrorCode::kFault:
+      return SolveStatus::kFault;
+    case ErrorCode::kSpaceLimit:
+      return SolveStatus::kSpaceLimit;
+  }
+  return SolveStatus::kInternalError;
+}
+
+}  // namespace
+
+template <typename Result, typename Request>
+TrySolveResult<Result> Solver::try_solve_impl(const Request& req) {
+  TrySolveResult<Result> out;
+  out.report.backend = options_.backend;
+
+  // The recovery counters accumulate across requests on one cluster, so
+  // the per-request delta is (after - before) — unless the request itself
+  // re-provisioned the cluster, in which case the counters started at
+  // zero and are already the delta.
+  const mpc::Cluster* before_cluster = cluster_.get();
+  const mpc::RecoveryStats before =
+      cluster_ ? cluster_->stats().recovery : mpc::RecoveryStats{};
+  const auto recovery_delta = [&]() {
+    if (!cluster_) return mpc::RecoveryStats{};
+    const mpc::RecoveryStats now = cluster_->stats().recovery;
+    return cluster_.get() == before_cluster ? now - before : now;
+  };
+
+  SolveStatus status = SolveStatus::kOk;
+  std::string message;
+  try {
+    out.value = solve_on(options_.backend, req);
+    out.report.recovery = recovery_delta();
+    return out;
+  } catch (const Error& e) {
+    status = status_of(e);
+    message = e.what();
+  } catch (const std::logic_error& e) {
+    // MONGE_CHECK precondition failures: caller-facing validation.
+    status = SolveStatus::kInvalidRequest;
+    message = e.what();
+  } catch (const std::exception& e) {
+    status = SolveStatus::kInternalError;
+    message = e.what();
+  }
+  out.report.status = status;
+  out.report.message = message;
+  out.report.recovery = recovery_delta();
+
+  // Graceful degradation: an MpcSim run killed by an unrecoverable fault
+  // or a space overrun falls back to the Sequential backend. The failed
+  // cluster is torn down — a crashed round leaves mailboxes/resident
+  // state mid-flight, so the next MpcSim request must start clean.
+  const bool degradable = options_.backend == SolverBackend::kMpcSim &&
+                          (status == SolveStatus::kFault ||
+                           status == SolveStatus::kSpaceLimit);
+  if (!degradable) return out;
+  cluster_.reset();
+  cluster_cfg_ = mpc::MpcConfig{};
+  try {
+    out.value = solve_on(SolverBackend::kSequential, req);
+    out.report.status = SolveStatus::kOk;
+    out.report.backend = SolverBackend::kSequential;
+    out.report.degraded = true;
+    out.report.message = std::string("MpcSim failed (") +
+                         solve_status_name(status) + "): " + message +
+                         "; degraded to sequential";
+  } catch (const std::exception& e) {
+    // Fallback failed too: keep the original classification, note both.
+    out.report.message =
+        message + " (sequential fallback also failed: " + e.what() + ")";
+  }
+  return out;
+}
+
+TrySolveResult<MultiplyResult> Solver::try_solve(const MultiplyRequest& req) {
+  return try_solve_impl<MultiplyResult>(req);
+}
+
+TrySolveResult<LisResult> Solver::try_solve(const LisRequest& req) {
+  return try_solve_impl<LisResult>(req);
+}
+
+TrySolveResult<LcsResult> Solver::try_solve(const LcsRequest& req) {
+  return try_solve_impl<LcsResult>(req);
 }
 
 }  // namespace monge

@@ -42,6 +42,17 @@
 // direct caller constructing a fresh per-problem cluster would see; round
 // counts in results are per-request deltas either way).
 //
+// Error handling: solve() throws the monge::Error taxonomy —
+// InvalidRequestError (bad options or request shapes), SpaceLimitError
+// (strict-mode budget overruns), FaultError (an injected fault the
+// cluster could not recover from), CodecError (corrupt payloads).
+// try_solve() never throws on those: it returns the same result plus a
+// SolveReport carrying a SolveStatus, the per-request RecoveryStats
+// delta, and a human-readable message. When the MpcSim backend fails
+// with a fault or space overrun, try_solve degrades the request to the
+// Sequential backend and flags it (report.degraded) — callers get an
+// answer plus a diagnosis instead of an exception.
+//
 // Thread compatibility: a Solver instance is NOT thread-safe (it owns one
 // engine arena and one cluster). Use one Solver per thread, or serialize
 // access externally; distinct Solver instances never share mutable state,
@@ -51,6 +62,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "api/request.h"
@@ -77,9 +89,55 @@ enum class SolverBackend {
 ///     "reference") for logging and bench labels.
 const char* solver_backend_name(SolverBackend backend);
 
+/// Outcome classification of a try_solve call — the ErrorCode taxonomy
+/// (util/error.h) plus kOk and a kInternalError catch-all.
+enum class SolveStatus {
+  kOk = 0,             ///< the request solved (possibly degraded).
+  kInvalidRequest = 1, ///< InvalidRequestError or a failed precondition.
+  kSpaceLimit = 2,     ///< SpaceLimitError (strict-mode budget overrun).
+  kFault = 3,          ///< FaultError (unrecoverable injected fault).
+  kCodec = 4,          ///< CodecError (corrupt payload).
+  kInternalError = 5,  ///< any other exception — a bug, report it.
+};
+
+/// @return a stable human-readable name ("ok", "invalid-request",
+///     "space-limit", "fault", "codec", "internal-error").
+const char* solve_status_name(SolveStatus status);
+
+/// Per-request outcome report returned by try_solve alongside the result.
+struct SolveReport {
+  /// Final outcome. kOk when `value` is usable (even if degraded).
+  SolveStatus status = SolveStatus::kOk;
+  /// The backend that produced the result — options().backend normally,
+  /// kSequential when the request was degraded.
+  SolverBackend backend = SolverBackend::kSequential;
+  /// True when the MpcSim backend failed (fault / space overrun) and the
+  /// request was re-solved on the Sequential backend.
+  bool degraded = false;
+  /// Human-readable diagnosis; empty on a clean kOk.
+  std::string message;
+  /// Recovery activity this request caused on the MpcSim cluster
+  /// (checkpoints, re-executed rounds, masked message faults) — a
+  /// per-request delta, zeros for non-MpcSim backends.
+  mpc::RecoveryStats recovery{};
+
+  bool ok() const { return status == SolveStatus::kOk; }
+};
+
+/// Result-plus-report pair returned by try_solve. `value` is only
+/// meaningful when report.ok().
+template <typename Result>
+struct TrySolveResult {
+  Result value{};
+  SolveReport report;
+
+  bool ok() const { return report.ok(); }
+};
+
 /// Construction-time configuration of a Solver. Validated by the Solver
-/// constructor: invalid values throw std::logic_error (mirroring
-/// SeaweedEngineOptions semantics — never silently clamped).
+/// constructor: invalid values throw monge::InvalidRequestError (never
+/// silently clamped). The nested engine options are validated by the
+/// SeaweedEngine constructor, which throws std::logic_error.
 struct SolverOptions {
   /// Implementation family every request routes to.
   SolverBackend backend = SolverBackend::kSequential;
@@ -92,7 +150,9 @@ struct SolverOptions {
   /// The default (num_machines == 0) auto-provisions
   /// MpcConfig::fully_scalable(n, mpc_delta, mpc_slack, mpc_strict) from
   /// each request's input size n (match count for LCS), reusing the
-  /// cluster while the computed config stays the same.
+  /// cluster while the computed config stays the same. The threads,
+  /// faults and checkpoint_interval fields carry over into
+  /// auto-provisioned clusters, so chaos plans apply either way.
   mpc::MpcConfig cluster{.num_machines = 0};
   /// Auto-provisioning exponent δ: m = n^δ machines. Must be in (0, 1).
   double mpc_delta = 0.5;
@@ -113,9 +173,10 @@ struct SolverOptions {
 class Solver {
  public:
   /// Validates and fixes the options for the Solver's lifetime; throws
-  /// std::logic_error on invalid backend/engine/MPC knobs. Constructs the
-  /// engine (empty arena); the cluster is NOT constructed until the first
-  /// MpcSim-backend request.
+  /// monge::InvalidRequestError on invalid backend/MPC knobs (the engine
+  /// knobs are validated by the SeaweedEngine constructor, which throws
+  /// std::logic_error). Constructs the engine (empty arena); the cluster
+  /// is NOT constructed until the first MpcSim-backend request.
   explicit Solver(SolverOptions options = {});
 
   Solver(const Solver&) = delete;
@@ -152,6 +213,19 @@ class Solver {
   /// generation has no shared fast path yet; documented, not hidden).
   std::vector<LcsResult> solve_batch(std::span<const LcsRequest> reqs);
 
+  /// Non-throwing solve(): classifies any monge::Error into a SolveStatus
+  /// and returns it in the report instead of propagating. An MpcSim
+  /// fault/space failure is degraded to the Sequential backend
+  /// (report.degraded = true, report.message explains); the failed
+  /// cluster is torn down so the next MpcSim request starts clean. The
+  /// report also carries the per-request RecoveryStats delta, so chaos
+  /// runs can audit how much recovery work their answer cost.
+  TrySolveResult<MultiplyResult> try_solve(const MultiplyRequest& req);
+  /// @copydoc try_solve(const MultiplyRequest&)
+  TrySolveResult<LisResult> try_solve(const LisRequest& req);
+  /// @copydoc try_solve(const MultiplyRequest&)
+  TrySolveResult<LcsResult> try_solve(const LcsRequest& req);
+
   /// @return the options, exactly as validated at construction.
   const SolverOptions& options() const { return options_; }
 
@@ -169,6 +243,19 @@ class Solver {
   const mpc::Cluster* cluster() const { return cluster_.get(); }
 
  private:
+  /// solve() bodies, parameterized on the backend so try_solve can
+  /// re-route a failed MpcSim request to kSequential.
+  MultiplyResult solve_on(SolverBackend backend, const MultiplyRequest& req);
+  LisResult solve_on(SolverBackend backend, const LisRequest& req);
+  LcsResult solve_on(SolverBackend backend, const LcsRequest& req);
+
+  /// Shared try_solve machinery: run on options().backend, classify any
+  /// escape into a SolveStatus, degrade MpcSim fault/space failures to
+  /// the Sequential backend. Defined in solver.cpp (only instantiated
+  /// there).
+  template <typename Result, typename Request>
+  TrySolveResult<Result> try_solve_impl(const Request& req);
+
   /// Returns the cluster to use for an MpcSim request of input size n,
   /// (re)provisioning if none exists or the auto-computed config changed.
   mpc::Cluster& provisioned_cluster(std::int64_t n);

@@ -126,14 +126,20 @@ Ims17Result ims17_lis(Cluster& cluster, std::span<const std::int64_t> seq,
                                       tables[static_cast<std::size_t>(i)]);
         }
       });
+      // Restartable: merge into a next buffer (overwrite), never in place,
+      // so crash recovery can re-execute the round without double-merging.
+      PerMachine<std::vector<std::int64_t>> next_tables(
+          static_cast<std::size_t>(m));
       cluster.run_round([&](MachineCtx& mc) {
         const std::int64_t i = mc.id();
+        auto merged = tables[static_cast<std::size_t>(i)];
         for (const mpc::Message& msg : mc.inbox()) {
           const auto other = msg.decode<std::int64_t>();
-          tables[static_cast<std::size_t>(i)] =
-              merge_tables(tables[static_cast<std::size_t>(i)], other, k);
+          merged = merge_tables(merged, other, k);
         }
+        next_tables[static_cast<std::size_t>(i)] = std::move(merged);
       });
+      tables.swap(next_tables);
     }
   } else {
     // O(1)-round variant: gather every table on machine 0. In strict mode
@@ -144,6 +150,7 @@ Ims17Result ims17_lis(Cluster& cluster, std::span<const std::int64_t> seq,
                                     tables[static_cast<std::size_t>(mc.id())]);
       }
     });
+    std::vector<std::int64_t> merged0;
     cluster.run_round([&](MachineCtx& mc) {
       if (mc.id() != 0) return;
       std::vector<std::pair<std::int64_t, std::vector<std::int64_t>>> got;
@@ -151,10 +158,14 @@ Ims17Result ims17_lis(Cluster& cluster, std::span<const std::int64_t> seq,
         got.push_back({msg.from, msg.decode<std::int64_t>()});
       }
       std::sort(got.begin(), got.end());
+      // Restartable: accumulate into a fresh buffer, written by overwrite.
+      auto acc = tables[0];
       for (auto& [from, tbl] : got) {
-        tables[0] = merge_tables(tables[0], tbl, k);
+        acc = merge_tables(acc, tbl, k);
       }
+      merged0 = std::move(acc);
     });
+    tables[0] = std::move(merged0);
   }
 
   out.lis_estimate = tables[0][static_cast<std::size_t>(k)];

@@ -527,6 +527,7 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
       static_cast<std::size_t>(m));
   cluster.run_round([&](MachineCtx& mc) {
     const std::int64_t i = mc.id();
+    c_out[static_cast<std::size_t>(i)].clear();  // restartable on recovery
     // Group the received points by subproblem.
     std::map<std::int32_t, std::vector<SubPoint>> as, bs;
     for (const SubPoint& p : a_in[static_cast<std::size_t>(i)]) {
@@ -853,8 +854,19 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
     // lambda would race).
     std::vector<std::int64_t> interesting_per_machine(
         static_cast<std::size_t>(m), 0);
+    // asm_out already holds the host-pushed uncrossed survivors; remember
+    // where they end so a recovery re-execution can truncate back to the
+    // baseline instead of appending box results twice.
+    std::vector<std::size_t> asm_base(static_cast<std::size_t>(m));
+    for (std::int64_t i = 0; i < m; ++i) {
+      asm_base[static_cast<std::size_t>(i)] =
+          asm_out[static_cast<std::size_t>(i)].size();
+    }
     cluster.run_round([&](MachineCtx& mc) {
       const std::int64_t i = mc.id();
+      asm_out[static_cast<std::size_t>(i)].resize(
+          asm_base[static_cast<std::size_t>(i)]);
+      std::int64_t interesting = 0;
       std::map<std::int32_t, BoxTask> tasks;
       for (std::size_t bx = 0; bx < crossed.size(); ++bx) {
         if (box_machine(bx) != i) continue;
@@ -901,9 +913,9 @@ std::vector<Perm> mpc_unit_monge_multiply_batch(
                SubPoint{box.sub, static_cast<std::int32_t>(p.row),
                         static_cast<std::int32_t>(p.col)}});
         }
-        interesting_per_machine[static_cast<std::size_t>(i)] +=
-            static_cast<std::int64_t>(res.interesting.size());
+        interesting += static_cast<std::int64_t>(res.interesting.size());
       }
+      interesting_per_machine[static_cast<std::size_t>(i)] = interesting;
     });
     for (std::int64_t cnt : interesting_per_machine) {
       rep.interesting_points += cnt;

@@ -103,6 +103,7 @@ MpcLisResult mpc_lis(Cluster& cluster, std::span<const std::int64_t> seq,
       auto& elems = mine[static_cast<std::size_t>(k)];
       std::sort(elems.begin(), elems.end());
       auto& st = state[static_cast<std::size_t>(k)];
+      st.positions.clear();  // restartable: recovery re-executes the round
       std::vector<std::int32_t> local_perm;
       for (const auto& [pos, rk] : elems) {
         st.positions.push_back(pos);

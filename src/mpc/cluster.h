@@ -9,7 +9,27 @@
 //     (in strict mode) throws SpaceLimitError when the s-word budget is
 //     exceeded — this is how the fully-scalability claims are *measured*,
 //   * runs machine-local work on a thread pool, with deterministic message
-//     delivery (sorted by sender) regardless of scheduling.
+//     delivery (sorted by sender) and deterministic error surfacing (lowest
+//     machine id wins) regardless of scheduling,
+//   * optionally injects a seeded fault schedule (MpcConfig::faults) and
+//     recovers from it: at the start of every checkpoint_interval-th round
+//     it snapshots the mailboxes and all registered resident state, and a
+//     machine crash rolls every machine back to that snapshot and
+//     re-executes the round, up to FaultPlan::max_round_retries times.
+//     Message drops/duplicates/corruption are masked by the simulated
+//     reliable transport (retransmit, sequence-number dedup, checksum
+//     verification). All recovery cost — re-executed rounds, wasted and
+//     retransmitted words, checkpoint storage — is accounted in
+//     ClusterStats::recovery and NEVER in the paper's rounds /
+//     total_comm_words, so the complexity measurements stay honest.
+//
+// The recovery contract for round closures: a crash re-executes the SAME
+// closure against the restored snapshot, so closures must be restartable —
+// inside a round, mutate only (a) cluster-registered resident state
+// (DistVector shards — restored on rollback), (b) host slots written by
+// overwrite (idempotent re-execution), or (c) host accumulators that the
+// closure itself resets at entry. Every collective and MPC algorithm in
+// this repository follows the contract.
 //
 // Messages are flat arrays of 64-bit words; typed helpers pack/unpack
 // trivially-copyable structs through the shared codec in util/codec.h.
@@ -19,39 +39,22 @@
 #include <functional>
 #include <map>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "mpc/config.h"
 #include "util/check.h"
 #include "util/codec.h"
+#include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace monge::mpc {
 
 using Word = std::int64_t;
 
-/// Thrown in strict mode when a machine exceeds its space budget.
-class SpaceLimitError : public std::runtime_error {
- public:
-  SpaceLimitError(std::int64_t machine, std::int64_t words,
-                  std::int64_t limit, const char* what_kind)
-      : std::runtime_error("machine " + std::to_string(machine) + " " +
-                           what_kind + " " + std::to_string(words) +
-                           " words exceeds space budget " +
-                           std::to_string(limit)),
-        machine_(machine),
-        words_(words),
-        limit_(limit) {}
-
-  std::int64_t machine() const { return machine_; }
-  std::int64_t words() const { return words_; }
-  std::int64_t limit() const { return limit_; }
-
- private:
-  std::int64_t machine_, words_, limit_;
-};
+// The space-budget error lives in the shared taxonomy (util/error.h);
+// re-exported here where it is thrown from.
+using monge::SpaceLimitError;
 
 struct Message {
   std::int64_t from = 0;
@@ -60,12 +63,45 @@ struct Message {
   std::vector<Word> payload;
 
   /// Decodes the payload as an array of T (trivially copyable, packed by
-  /// send_items through the util/codec.h word codec).
+  /// send_items through the util/codec.h word codec). Throws CodecError if
+  /// the payload is not a whole number of T strides.
   template <typename T>
   std::vector<T> decode() const {
     return util::unpack_words<T>(payload);
   }
 };
+
+/// Recovery-side statistics, kept strictly apart from the paper's
+/// round/word numbers so fault injection never distorts the complexity
+/// measurements; all-zero when fault injection is off.
+struct RecoveryStats {
+  std::int64_t checkpoints = 0;          ///< snapshots taken
+  std::int64_t checkpoint_words = 0;     ///< words persisted across snapshots
+  std::int64_t crashes_recovered = 0;    ///< crash events rolled back
+  std::int64_t recovery_rounds = 0;      ///< re-executed + retransmit rounds
+  std::int64_t recovery_comm_words = 0;  ///< wasted, restored, resent words
+  std::int64_t messages_dropped = 0;     ///< drops masked by retransmission
+  std::int64_t messages_duplicated = 0;  ///< duplicates discarded by dedup
+  std::int64_t messages_corrupted = 0;   ///< corruptions caught by checksum
+  std::int64_t straggler_delays = 0;     ///< stragglers absorbed by barrier
+
+  friend bool operator==(const RecoveryStats&,
+                         const RecoveryStats&) = default;
+};
+
+/// Per-field difference a − b (used for per-request recovery deltas).
+inline RecoveryStats operator-(RecoveryStats a, const RecoveryStats& b) {
+  a.checkpoints -= b.checkpoints;
+  a.checkpoint_words -= b.checkpoint_words;
+  a.crashes_recovered -= b.crashes_recovered;
+  a.recovery_rounds -= b.recovery_rounds;
+  a.recovery_comm_words -= b.recovery_comm_words;
+  a.messages_dropped -= b.messages_dropped;
+  a.messages_duplicated -= b.messages_duplicated;
+  a.messages_corrupted -= b.messages_corrupted;
+  a.straggler_delays -= b.straggler_delays;
+  return a;
+}
 
 struct ClusterStats {
   std::int64_t rounds = 0;
@@ -74,6 +110,26 @@ struct ClusterStats {
   std::int64_t max_machine_words = 0;
   /// Peak resident (registered DistVector shards) alone.
   std::int64_t max_resident_words = 0;
+  /// Fault-injection recovery accounting (additive, separate from above).
+  RecoveryStats recovery{};
+
+  friend bool operator==(const ClusterStats&, const ClusterStats&) = default;
+};
+
+/// Hooks a resident data structure (DistVector) registers with the
+/// cluster. `words` feeds the per-round space audit and is mandatory;
+/// `checkpoint`/`restore` let the cluster snapshot the structure's
+/// per-machine state and roll it back for crash recovery. Structures
+/// registered without the recovery pair still audit, but a crash while one
+/// is live is unrecoverable (FaultError).
+struct ResidentHooks {
+  /// Words the structure currently keeps on a machine.
+  std::function<std::int64_t(std::int64_t machine)> words;
+  /// Serializes the machine's state as a flat word blob.
+  std::function<std::vector<Word>(std::int64_t machine)> checkpoint;
+  /// Inverse of checkpoint: reinstates a previously serialized blob.
+  std::function<void(std::int64_t machine, std::span<const Word> blob)>
+      restore;
 };
 
 class Cluster;
@@ -104,6 +160,9 @@ class MachineCtx {
 
 class Cluster {
  public:
+  /// Validates the config (machine/space counts, checkpoint cadence, fault
+  /// probabilities and scheduled sites) — invalid values throw
+  /// InvalidRequestError, never undefined behavior.
   explicit Cluster(MpcConfig cfg);
 
   std::int64_t machines() const { return cfg_.num_machines; }
@@ -114,14 +173,20 @@ class Cluster {
 
   /// Executes one MPC round: fn runs once per machine (in parallel), then
   /// outgoing messages are validated against the space budget and routed.
+  /// With faults enabled, the round is checkpointed, injected with the
+  /// plan's events and recovered as described in the header comment; an
+  /// unrecoverable crash throws FaultError. Errors thrown by fn surface
+  /// deterministically: the lowest-id machine's exception wins.
   void run_round(const std::function<void(MachineCtx&)>& fn);
 
-  /// Resets round/communication statistics (not mailboxes).
+  /// Resets round/communication statistics, including recovery counters
+  /// (not mailboxes).
   void reset_stats() { stats_ = ClusterStats{}; }
 
-  /// Registers a resident-space auditor (used by DistVector); returns an id
-  /// for unregistering. The auditor reports the words a data structure
-  /// currently keeps on a given machine.
+  /// Registers a resident structure's hook set (used by DistVector);
+  /// returns an id for unregistering.
+  std::int64_t register_resident(ResidentHooks hooks);
+  /// Audit-only registration (no crash recovery for this structure).
   std::int64_t register_resident(
       std::function<std::int64_t(std::int64_t)> auditor);
   void unregister_resident(std::int64_t id);
@@ -130,15 +195,36 @@ class Cluster {
   std::int64_t resident_words(std::int64_t machine) const;
 
  private:
+  /// Round-entry snapshot crash recovery restores: the delivered-but-
+  /// unconsumed mailboxes plus every recoverable resident structure.
+  struct Snapshot {
+    std::int64_t round = -1;  ///< round the snapshot was taken for
+    bool complete = false;    ///< every resident structure was recoverable
+    std::vector<std::vector<Message>> mailboxes;
+    std::map<std::int64_t, std::vector<std::vector<Word>>> residents;
+  };
+
   void check_space(std::int64_t machine, std::int64_t words,
                    const char* kind) const;
+  void take_checkpoint(std::int64_t round);
+  /// Rolls mailboxes and resident state back; returns the words restored.
+  std::int64_t restore_checkpoint();
+  /// Machines the plan crashes at (round, attempt), ascending ids.
+  std::vector<std::int64_t> crashed_machines(std::int64_t round,
+                                             std::int64_t attempt) const;
+  /// Applies drop/duplicate/corrupt events to one routed message; the
+  /// delivered payload is always the pristine one (reliable transport) —
+  /// only the recovery counters move.
+  void inject_message_faults(const Message& msg, std::int64_t round,
+                             std::int64_t seq, bool* retransmitted);
 
   MpcConfig cfg_;
   ThreadPool pool_;
   ClusterStats stats_;
   std::vector<std::vector<Message>> mailboxes_;  // inbox per machine
-  std::map<std::int64_t, std::function<std::int64_t(std::int64_t)>> auditors_;
+  std::map<std::int64_t, ResidentHooks> auditors_;
   std::int64_t next_auditor_id_ = 0;
+  Snapshot snapshot_;
 
   friend class MachineCtx;
 };

@@ -93,8 +93,15 @@ PrefixResult exclusive_prefix(Cluster& c,
       const auto v = msg.decode<std::int64_t>();
       child_sum[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
           v[0];
-      subtree[static_cast<std::size_t>(i)] += v[0];
     }
+    // Restartable: the subtree sum is recomputed from the overwrite-once
+    // child slots (all of a node's children report in the same round), so
+    // a re-executed round never double-absorbs a child.
+    std::int64_t sum = val[static_cast<std::size_t>(i)];
+    for (const std::int64_t cs : child_sum[static_cast<std::size_t>(i)]) {
+      sum += cs;
+    }
+    subtree[static_cast<std::size_t>(i)] = sum;
   };
 
   // Up-sweep: depth-hop machines push their subtree sums to parents.

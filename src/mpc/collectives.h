@@ -20,6 +20,11 @@
 //                      machine-local base cases; throws SpaceLimitError if
 //                      it does not fit, which is exactly the fully-
 //                      scalability experiment).
+//
+// Every round closure here follows the cluster's restartable-round
+// contract (mpc/cluster.h): host-side accumulators are cleared at round
+// entry or double-buffered, so crash recovery can roll registered state
+// back and re-execute a round without double-absorbing anything.
 #pragma once
 
 #include <algorithm>
@@ -129,6 +134,7 @@ PerMachine<std::vector<T>> route_items(
   });
   c.run_round([&](MachineCtx& mc) {
     auto& mine = received[static_cast<std::size_t>(mc.id())];
+    mine.clear();  // restartable: crash recovery re-executes the round
     for (const Message& msg : mc.inbox()) {
       auto items = msg.decode<T>();
       mine.insert(mine.end(), items.begin(), items.end());
@@ -271,10 +277,16 @@ void sample_sort(Cluster& c, DistVector<T>& dv, KeyFn key) {
       sketch[static_cast<std::size_t>(i)] =
           detail::leaf_sketch(dv.local(i), cap, key);
     }
+    // Double-buffered so every round is restartable: a hop merges the
+    // previous hop's sketch (read-only this round) with the inbox into the
+    // next buffer — crash recovery re-executes the merge instead of
+    // absorbing the same children twice.
+    PerMachine<std::vector<detail::SketchItem>> next_sketch(
+        static_cast<std::size_t>(m));
     for (int hop = dmax; hop >= 1; --hop) {
       c.run_round([&](MachineCtx& mc) {
         const std::int64_t i = mc.id();
-        auto& sk = sketch[static_cast<std::size_t>(i)];
+        auto sk = sketch[static_cast<std::size_t>(i)];
         for (const Message& msg : mc.inbox()) {
           if (msg.tag != tags::kSketch) continue;
           auto items = msg.decode<detail::SketchItem>();
@@ -289,12 +301,15 @@ void sample_sort(Cluster& c, DistVector<T>& dv, KeyFn key) {
           mc.send_items<detail::SketchItem>(
               group_base(i) + tree_parent(rank, f), tags::kSketch, sk);
         }
+        next_sketch[static_cast<std::size_t>(i)] = std::move(sk);
       });
+      sketch.swap(next_sketch);
     }
-    // Absorb the hop-1 sends at the roots and compute splitters there.
+    // Absorb the hop-1 sends at the roots and compute splitters there (on
+    // a local merge copy — the sketches are dead after this round).
     c.run_round([&](MachineCtx& mc) {
       const std::int64_t i = mc.id();
-      auto& sk = sketch[static_cast<std::size_t>(i)];
+      auto sk = sketch[static_cast<std::size_t>(i)];
       for (const Message& msg : mc.inbox()) {
         if (msg.tag != tags::kSketch) continue;
         auto items = msg.decode<detail::SketchItem>();

@@ -7,7 +7,10 @@
 // canonical layout currently holds.
 //
 // Shard contents are registered with the cluster's resident-space auditor,
-// so the per-round space checks see them.
+// so the per-round space checks see them — and with the cluster's
+// checkpoint/restore protocol (ResidentHooks), so crash recovery can roll
+// a shard back to the round-entry snapshot: checkpoint serializes a shard
+// through the util/codec.h word codec, restore reinstates it bit-exactly.
 #pragma once
 
 #include <cstdint>
@@ -152,12 +155,22 @@ class DistVector {
   void register_auditor() {
     constexpr std::int64_t words_per =
         static_cast<std::int64_t>((sizeof(T) + 7) / 8);
-    auto shards = shards_;  // keep alive inside the auditor
-    auditor_id_ = cluster_->register_resident([shards](std::int64_t machine) {
+    auto shards = shards_;  // keep alive inside the hooks
+    ResidentHooks hooks;
+    hooks.words = [shards](std::int64_t machine) {
       return static_cast<std::int64_t>(
                  (*shards)[static_cast<std::size_t>(machine)].size()) *
              words_per;
-    });
+    };
+    hooks.checkpoint = [shards](std::int64_t machine) {
+      return util::pack_words<T>((*shards)[static_cast<std::size_t>(machine)]);
+    };
+    hooks.restore = [shards](std::int64_t machine,
+                             std::span<const Word> blob) {
+      (*shards)[static_cast<std::size_t>(machine)] =
+          util::unpack_words<T>(blob);
+    };
+    auditor_id_ = cluster_->register_resident(std::move(hooks));
   }
 
   Cluster* cluster_;

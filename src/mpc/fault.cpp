@@ -1,0 +1,81 @@
+#include "mpc/fault.h"
+
+#include "util/check.h"
+
+namespace monge::mpc {
+
+namespace {
+
+// Fixed-increment splitmix64 finalizer: a bijection on 64-bit words with
+// good avalanche — the whole fault schedule is built from it.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return splitmix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+std::uint64_t site_hash(std::uint64_t seed, FaultKind kind,
+                        std::int64_t round, std::int64_t salt, std::int64_t a,
+                        std::int64_t b) {
+  std::uint64_t h = splitmix64(seed);
+  h = mix(h, static_cast<std::uint64_t>(kind));
+  h = mix(h, static_cast<std::uint64_t>(round));
+  h = mix(h, static_cast<std::uint64_t>(salt));
+  h = mix(h, static_cast<std::uint64_t>(a));
+  h = mix(h, static_cast<std::uint64_t>(b));
+  return h;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStraggle:
+      return "straggle";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+double fault_uniform(std::uint64_t seed, FaultKind kind, std::int64_t round,
+                     std::int64_t salt, std::int64_t a, std::int64_t b) {
+  // Top 53 bits → uniform double in [0, 1).
+  return static_cast<double>(site_hash(seed, kind, round, salt, a, b) >> 11) *
+         0x1.0p-53;
+}
+
+std::uint64_t payload_checksum(std::span<const std::int64_t> payload) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    // splitmix64 is a bijection, so for a fixed position salt two distinct
+    // words map to distinct summands — any single-word damage shifts the sum.
+    sum += splitmix64(static_cast<std::uint64_t>(payload[i]) ^
+                      splitmix64(static_cast<std::uint64_t>(i) +
+                                 0x51ed270b9f6aa03fULL));
+  }
+  return sum;
+}
+
+void corrupt_payload(std::span<std::int64_t> payload, std::uint64_t seed,
+                     std::int64_t round, std::int64_t site) {
+  MONGE_CHECK(!payload.empty());
+  const std::uint64_t h =
+      site_hash(seed, FaultKind::kCorrupt, round, site, 0x7a11, 0);
+  const auto j = static_cast<std::size_t>(h % payload.size());
+  // Odd mask: never zero, so the word always changes.
+  payload[j] ^= static_cast<std::int64_t>(splitmix64(h) | 1ULL);
+}
+
+}  // namespace monge::mpc

@@ -1,0 +1,104 @@
+// Deterministic fault injection for the MPC simulator.
+//
+// A FaultPlan describes *when* the simulated cluster misbehaves: machine
+// crashes, straggler delays, and message drop/duplicate/corrupt events —
+// either probabilistically (seeded) or at explicitly scheduled
+// (round, machine) sites. Every decision is a pure hash of
+// (seed, kind, round, site identifiers); no RNG stream is consumed, so a
+// schedule replays bit-for-bit regardless of thread count or the order the
+// pool happens to run machines in.
+//
+// Cluster::run_round consults the plan: crashes trigger checkpoint
+// rollback and bounded re-execution, message faults are masked by the
+// simulated reliable transport (retransmit / dedup / checksum-verify), and
+// stragglers are absorbed by the round barrier. All recovery cost lands in
+// ClusterStats::recovery, never in the paper's round/word statistics
+// (mpc/cluster.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace monge::mpc {
+
+/// The kinds of injected fault events.
+enum class FaultKind : std::uint64_t {
+  kCrash = 1,      ///< a machine dies mid-round; recovered from checkpoint
+  kStraggle = 2,   ///< a machine is slow; absorbed by the round barrier
+  kDrop = 3,       ///< a message is lost in flight and retransmitted
+  kDuplicate = 4,  ///< a message arrives twice; the copy is discarded
+  kCorrupt = 5,    ///< a payload is damaged in flight; caught by checksum
+};
+
+/// @return a stable lowercase name ("crash", "straggle", "drop",
+///     "duplicate", "corrupt") for logs and reports.
+const char* fault_kind_name(FaultKind kind);
+
+/// One explicitly scheduled fault. For kCrash/kStraggle, `machine` is the
+/// affected machine; for the message kinds, every message `machine` sends
+/// in `round` is affected. Scheduled crashes strike the first execution of
+/// the round only (the re-executed attempt succeeds), modelling a
+/// one-shot hardware loss rather than a deterministic repeat-offender.
+struct ScheduledFault {
+  std::int64_t round = 0;    ///< cluster round index (stats().rounds)
+  std::int64_t machine = 0;  ///< affected machine (sender for message kinds)
+  FaultKind kind = FaultKind::kCrash;
+
+  friend bool operator==(const ScheduledFault&,
+                         const ScheduledFault&) = default;
+};
+
+/// A seeded, replayable chaos schedule. Probabilities are per event site:
+/// crash and straggle per (round, attempt, machine), message faults per
+/// individual message. The default (all probabilities zero, no scheduled
+/// faults) disables injection entirely — the simulator then behaves, and
+/// costs, exactly as without this subsystem.
+struct FaultPlan {
+  /// Seed of the pure decision hash; same seed → same schedule, at any
+  /// thread count.
+  std::uint64_t seed = 0;
+
+  double crash_prob = 0.0;      ///< P[a machine crashes in a round attempt]
+  double straggle_prob = 0.0;   ///< P[a machine straggles in a round]
+  double drop_prob = 0.0;       ///< P[a message is dropped in flight]
+  double duplicate_prob = 0.0;  ///< P[a message is duplicated in flight]
+  double corrupt_prob = 0.0;    ///< P[a message payload is damaged]
+
+  /// Explicit (round, machine) fault sites, applied on top of the
+  /// probabilistic schedule.
+  std::vector<ScheduledFault> scheduled;
+
+  /// How many times one round may be rolled back and re-executed before a
+  /// crash is declared unrecoverable and run_round throws FaultError.
+  std::int64_t max_round_retries = 8;
+
+  /// True when any injection is configured; Cluster skips the whole
+  /// checkpoint/injection machinery when false.
+  bool enabled() const {
+    return crash_prob > 0.0 || straggle_prob > 0.0 || drop_prob > 0.0 ||
+           duplicate_prob > 0.0 || corrupt_prob > 0.0 || !scheduled.empty();
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Deterministic uniform draw in [0, 1) for one fault site: a pure hash of
+/// (seed, kind, round, salt, a, b). `salt` carries the retry attempt for
+/// crash/straggle sites and the per-sender message sequence number for
+/// message sites; `a`/`b` carry machine ids.
+double fault_uniform(std::uint64_t seed, FaultKind kind, std::int64_t round,
+                     std::int64_t salt, std::int64_t a, std::int64_t b = 0);
+
+/// Position-salted payload checksum the simulated transport verifies.
+/// Each word is passed through a per-position bijection before summing, so
+/// changing any single word to a different value always changes the sum —
+/// injected corruption (corrupt_payload) is detected with certainty.
+std::uint64_t payload_checksum(std::span<const std::int64_t> payload);
+
+/// Deterministically damages exactly one word of a non-empty payload in
+/// place (XOR with a nonzero mask derived from the arguments).
+void corrupt_payload(std::span<std::int64_t> payload, std::uint64_t seed,
+                     std::int64_t round, std::int64_t site);
+
+}  // namespace monge::mpc

@@ -16,10 +16,11 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
-#include "util/check.h"
+#include "util/error.h"
 
 namespace monge::util {
 
@@ -42,14 +43,17 @@ std::vector<std::int64_t> pack_words(std::span<const T> items) {
 }
 
 /// Inverse of pack_words: words.size() must be a whole number of item
-/// strides (checked — a truncated payload throws instead of misdecoding).
+/// strides — a truncated or corrupted payload throws monge::CodecError
+/// instead of misdecoding.
 template <typename T>
 std::vector<T> unpack_words(std::span<const std::int64_t> words) {
   static_assert(std::is_trivially_copyable_v<T>);
   constexpr std::size_t wpe = kWordsPerItem<T>;
-  MONGE_CHECK_MSG(words.size() % wpe == 0,
-                  "payload of " << words.size() << " words is not a whole "
-                  "number of " << wpe << "-word items");
+  if (words.size() % wpe != 0) {
+    throw CodecError("payload of " + std::to_string(words.size()) +
+                     " words is not a whole number of " +
+                     std::to_string(wpe) + "-word items");
+  }
   std::vector<T> items(words.size() / wpe);
   for (std::size_t i = 0; i < items.size(); ++i) {
     std::memcpy(&items[i], words.data() + i * wpe, sizeof(T));

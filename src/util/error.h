@@ -1,0 +1,130 @@
+// Structured error taxonomy of the monge library.
+//
+// Every runtime condition a caller can meaningfully react to derives from
+// monge::Error (itself std::runtime_error), so call sites can catch one
+// base, switch on code(), or catch the concrete class:
+//
+//   * InvalidRequestError — a caller-provided configuration or request
+//     value is out of range (bad MpcConfig, bad SolverOptions, malformed
+//     FaultPlan). Retrying the same request cannot succeed.
+//   * CodecError — a message payload cannot be decoded: its word count is
+//     not a whole number of item strides (util/codec.h), i.e. the payload
+//     was truncated or corrupted.
+//   * FaultError — an injected fault could not be recovered: a machine
+//     crashed in a round that started without a fresh checkpoint, a
+//     resident structure had no restore hook, or the retry budget ran out
+//     (mpc/fault.h, mpc/cluster.h).
+//   * SpaceLimitError — a machine exceeded the s-word budget in strict
+//     mode; this is how the fully-scalability claims are *measured*
+//     (mpc/cluster.h).
+//
+// MONGE_CHECK contract violations (programming errors — bad shapes, broken
+// invariants) remain std::logic_error: the taxonomy covers conditions of
+// the *runtime*, not of the code. Solver::try_solve() maps both worlds to
+// a non-throwing status + report.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace monge {
+
+/// Machine-readable discriminator carried by every monge::Error.
+enum class ErrorCode {
+  kInvalidRequest = 1,  ///< caller-provided value out of range
+  kCodec = 2,           ///< payload cannot be decoded
+  kFault = 3,           ///< injected fault unrecoverable
+  kSpaceLimit = 4,      ///< strict-mode space budget exceeded
+};
+
+/// @return a stable lowercase name ("invalid-request", "codec", "fault",
+///     "space-limit") for logs and reports.
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidRequest:
+      return "invalid-request";
+    case ErrorCode::kCodec:
+      return "codec";
+    case ErrorCode::kFault:
+      return "fault";
+    case ErrorCode::kSpaceLimit:
+      return "space-limit";
+  }
+  return "unknown";
+}
+
+/// Base of the taxonomy; never thrown directly — always one of the
+/// concrete classes below.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  /// The machine-readable discriminator of the concrete class.
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// A caller-provided configuration or request value is invalid; retrying
+/// the same request cannot succeed.
+class InvalidRequestError : public Error {
+ public:
+  explicit InvalidRequestError(const std::string& what)
+      : Error(ErrorCode::kInvalidRequest, what) {}
+};
+
+/// A word payload cannot be decoded as the requested item type (truncated
+/// or corrupted stride — util/codec.h).
+class CodecError : public Error {
+ public:
+  explicit CodecError(const std::string& what)
+      : Error(ErrorCode::kCodec, what) {}
+};
+
+/// An injected fault exhausted the simulator's recovery options; carries
+/// the first (lowest-id) affected machine and the round it struck.
+class FaultError : public Error {
+ public:
+  FaultError(std::int64_t machine, std::int64_t round,
+             const std::string& what)
+      : Error(ErrorCode::kFault, "machine " + std::to_string(machine) +
+                                     ", round " + std::to_string(round) +
+                                     ": " + what),
+        machine_(machine),
+        round_(round) {}
+
+  /// Lowest-id machine the unrecoverable fault struck.
+  std::int64_t machine() const { return machine_; }
+  /// Cluster round index (stats().rounds at round entry) of the fault.
+  std::int64_t round() const { return round_; }
+
+ private:
+  std::int64_t machine_, round_;
+};
+
+/// Thrown in strict mode when a machine exceeds its space budget; carries
+/// the machine, the observed words and the budget.
+class SpaceLimitError : public Error {
+ public:
+  SpaceLimitError(std::int64_t machine, std::int64_t words,
+                  std::int64_t limit, const char* what_kind)
+      : Error(ErrorCode::kSpaceLimit,
+              "machine " + std::to_string(machine) + " " + what_kind + " " +
+                  std::to_string(words) + " words exceeds space budget " +
+                  std::to_string(limit)),
+        machine_(machine),
+        words_(words),
+        limit_(limit) {}
+
+  std::int64_t machine() const { return machine_; }
+  std::int64_t words() const { return words_; }
+  std::int64_t limit() const { return limit_; }
+
+ private:
+  std::int64_t machine_, words_, limit_;
+};
+
+}  // namespace monge

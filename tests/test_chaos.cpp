@@ -1,0 +1,209 @@
+// Chaos differential harness for the fault-injected MPC runtime.
+//
+// The core guarantee under test: a recoverable seeded fault schedule is
+// INVISIBLE — the run's outputs are bit-identical to the fault-free run,
+// the paper-side statistics (rounds, total_comm_words) are unchanged, and
+// every cost of surviving the schedule lands on the recovery ledger. The
+// harness drives >= 500 distinct seeded schedules (kSeedsPerRoute per
+// route) across the three MpcSim routes (unit-Monge multiply, LIS, LCS),
+// plus a thread-count determinism check: the same schedule must produce
+// the same ClusterStats at 1, 2 and hardware threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mpc_multiply.h"
+#include "lcs/mpc_lcs.h"
+#include "lis/mpc_lis.h"
+#include "mpc/cluster.h"
+#include "mpc/fault.h"
+#include "util/rng.h"
+
+namespace monge {
+namespace {
+
+using mpc::Cluster;
+using mpc::ClusterStats;
+using mpc::FaultKind;
+using mpc::FaultPlan;
+using mpc::MpcConfig;
+using mpc::RecoveryStats;
+
+// 3 routes x 170 seeds = 510 seeded fault schedules per suite run.
+constexpr std::uint64_t kSeedsPerRoute = 170;
+
+MpcConfig chaos_config(std::uint64_t seed, unsigned threads = 1) {
+  MpcConfig cfg;
+  cfg.num_machines = 4;
+  cfg.space_words = 1 << 20;
+  cfg.strict = true;
+  cfg.threads = threads;
+  if (seed != 0) {
+    cfg.faults.seed = seed;
+    cfg.faults.crash_prob = 0.02;
+    cfg.faults.straggle_prob = 0.05;
+    cfg.faults.drop_prob = 0.03;
+    cfg.faults.duplicate_prob = 0.03;
+    cfg.faults.corrupt_prob = 0.02;
+    cfg.faults.max_round_retries = 16;
+  }
+  return cfg;
+}
+
+/// One route execution: a flat fingerprint of the outputs plus the stats.
+struct RouteRun {
+  std::vector<std::int64_t> fingerprint;
+  ClusterStats stats;
+};
+
+RouteRun run_multiply(const MpcConfig& cfg) {
+  Rng rng(1234);
+  const Perm a = Perm::random(48, rng);
+  const Perm b = Perm::random(48, rng);
+  Cluster c(cfg);
+  const Perm prod = core::mpc_unit_monge_multiply(c, a, b);
+  RouteRun out;
+  for (const std::int32_t col : prod.row_to_col()) out.fingerprint.push_back(col);
+  out.stats = c.stats();
+  return out;
+}
+
+RouteRun run_lis(const MpcConfig& cfg) {
+  Rng rng(5678);
+  std::vector<std::int64_t> seq(96);
+  for (auto& x : seq) x = rng.next_in(0, 1 << 12);
+  Cluster c(cfg);
+  const auto res = lis::mpc_lis(c, seq, {});
+  RouteRun out;
+  out.fingerprint.push_back(res.lis);
+  for (const Point& pt : res.kernel.points()) {
+    out.fingerprint.push_back(pt.row);
+    out.fingerprint.push_back(pt.col);
+  }
+  out.stats = c.stats();
+  return out;
+}
+
+RouteRun run_lcs(const MpcConfig& cfg) {
+  Rng rng(9012);
+  std::vector<std::int64_t> s(48), t(48);
+  for (auto& x : s) x = rng.next_in(0, 6);
+  for (auto& x : t) x = rng.next_in(0, 6);
+  Cluster c(cfg);
+  const auto res = lcs::mpc_lcs(c, s, t);
+  RouteRun out;
+  out.fingerprint.push_back(res.lcs);
+  out.fingerprint.push_back(res.matches);
+  out.stats = c.stats();
+  return out;
+}
+
+using RouteFn = RouteRun (*)(const MpcConfig&);
+
+struct Route {
+  const char* name;
+  RouteFn run;
+};
+
+constexpr Route kRoutes[] = {
+    {"multiply", run_multiply},
+    {"lis", run_lis},
+    {"lcs", run_lcs},
+};
+
+TEST(ChaosHarness, RecoverableSchedulesAreBitInvisible) {
+  for (const Route& route : kRoutes) {
+    const RouteRun clean = route.run(chaos_config(0));
+    ASSERT_EQ(clean.stats.recovery, RecoveryStats{}) << route.name;
+
+    RecoveryStats totals;
+    for (std::uint64_t seed = 1; seed <= kSeedsPerRoute; ++seed) {
+      const RouteRun chaos = route.run(chaos_config(seed));
+      // The schedule must be invisible: identical outputs, identical
+      // paper-side accounting.
+      ASSERT_EQ(chaos.fingerprint, clean.fingerprint)
+          << route.name << " seed " << seed;
+      ASSERT_EQ(chaos.stats.rounds, clean.stats.rounds)
+          << route.name << " seed " << seed;
+      ASSERT_EQ(chaos.stats.total_comm_words, clean.stats.total_comm_words)
+          << route.name << " seed " << seed;
+      // Chaos runs always checkpoint; everything else accumulates for the
+      // coverage assertions below.
+      ASSERT_GT(chaos.stats.recovery.checkpoints, 0)
+          << route.name << " seed " << seed;
+      totals.crashes_recovered += chaos.stats.recovery.crashes_recovered;
+      totals.recovery_rounds += chaos.stats.recovery.recovery_rounds;
+      totals.recovery_comm_words += chaos.stats.recovery.recovery_comm_words;
+      totals.messages_dropped += chaos.stats.recovery.messages_dropped;
+      totals.messages_duplicated += chaos.stats.recovery.messages_duplicated;
+      totals.messages_corrupted += chaos.stats.recovery.messages_corrupted;
+      totals.straggler_delays += chaos.stats.recovery.straggler_delays;
+    }
+    // Every fault kind fired somewhere across the route's seeds — the
+    // harness exercises crash recovery AND all three transport masks.
+    EXPECT_GT(totals.crashes_recovered, 0) << route.name;
+    EXPECT_GT(totals.recovery_rounds, 0) << route.name;
+    EXPECT_GT(totals.recovery_comm_words, 0) << route.name;
+    EXPECT_GT(totals.messages_dropped, 0) << route.name;
+    EXPECT_GT(totals.messages_duplicated, 0) << route.name;
+    EXPECT_GT(totals.messages_corrupted, 0) << route.name;
+    EXPECT_GT(totals.straggler_delays, 0) << route.name;
+  }
+}
+
+TEST(ChaosHarness, SameSeedSameStatsAcrossThreadCounts) {
+  // Fault decisions are pure hashes of (seed, kind, round, site) — no RNG
+  // stream — so a schedule replays bit-for-bit regardless of how the pool
+  // schedules machines. ClusterStats (defaulted ==, recovery included)
+  // must match at 1, 2 and hardware threads on every route.
+  constexpr std::uint64_t kSeed = 42;
+  for (const Route& route : kRoutes) {
+    const RouteRun one = route.run(chaos_config(kSeed, /*threads=*/1));
+    const RouteRun two = route.run(chaos_config(kSeed, /*threads=*/2));
+    const RouteRun hw = route.run(chaos_config(kSeed, /*threads=*/0));
+    EXPECT_EQ(one.fingerprint, two.fingerprint) << route.name;
+    EXPECT_EQ(one.fingerprint, hw.fingerprint) << route.name;
+    EXPECT_EQ(one.stats, two.stats) << route.name;
+    EXPECT_EQ(one.stats, hw.stats) << route.name;
+  }
+}
+
+TEST(ChaosHarness, FaultDrawsArePureFunctions) {
+  // Same site, same draw; different seeds decorrelate; draws live in [0,1).
+  for (std::uint64_t seed : {1ULL, 7ULL, 123456789ULL}) {
+    for (std::int64_t round = 0; round < 8; ++round) {
+      const double a =
+          mpc::fault_uniform(seed, FaultKind::kCrash, round, 0, 3);
+      const double b =
+          mpc::fault_uniform(seed, FaultKind::kCrash, round, 0, 3);
+      EXPECT_EQ(a, b);
+      EXPECT_GE(a, 0.0);
+      EXPECT_LT(a, 1.0);
+      EXPECT_NE(a, mpc::fault_uniform(seed + 1, FaultKind::kCrash, round, 0, 3));
+      EXPECT_NE(a, mpc::fault_uniform(seed, FaultKind::kDrop, round, 0, 3));
+    }
+  }
+}
+
+TEST(ChaosHarness, ChecksumCatchesEveryInjectedCorruption) {
+  // The reliable-transport story rests on the checksum detecting the
+  // damage corrupt_payload injects. Fuzz it: random payloads of varied
+  // sizes, every corruption site the cluster would use.
+  Rng rng(77);
+  for (int it = 0; it < 500; ++it) {
+    const auto n = static_cast<std::size_t>(rng.next_in(1, 64));
+    std::vector<std::int64_t> payload(n);
+    for (auto& w : payload) {
+      w = rng.next_in(std::int64_t{-1} << 40, std::int64_t{1} << 40);
+    }
+    std::vector<std::int64_t> damaged = payload;
+    mpc::corrupt_payload(damaged, /*seed=*/static_cast<std::uint64_t>(it),
+                         /*round=*/it % 13, /*site=*/it % 29);
+    EXPECT_NE(damaged, payload);
+    EXPECT_NE(mpc::payload_checksum(damaged), mpc::payload_checksum(payload));
+  }
+}
+
+}  // namespace
+}  // namespace monge

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpc/cluster.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace monge::util {
@@ -70,7 +72,48 @@ TEST(Codec, PaddingBytesAreZeroed) {
 
 TEST(Codec, TruncatedPayloadThrows) {
   const std::vector<std::int64_t> odd(3, 0);  // 3 words, 2-word stride
-  EXPECT_THROW(unpack_words<ThreeInts>(odd), std::logic_error);
+  EXPECT_THROW(unpack_words<ThreeInts>(odd), CodecError);
+}
+
+TEST(Codec, CorruptPayloadErrorsCarryTheTaxonomy) {
+  // A CodecError is a monge::Error with code kCodec — and, unlike the
+  // MONGE_CHECK logic_error family, a runtime_error: corrupt payloads are
+  // an input/transport condition, not a programming bug.
+  const std::vector<std::int64_t> bad(5, 42);  // 5 words, 2-word stride
+  try {
+    unpack_words<WordPair>(bad);
+    FAIL() << "expected CodecError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCodec);
+    EXPECT_NE(std::string(e.what()).find("5 words"), std::string::npos);
+  }
+  EXPECT_THROW(unpack_words<WordPair>(bad), std::runtime_error);
+}
+
+TEST(Codec, CorruptPayloadEveryTruncationLength) {
+  // Every word count that is not a multiple of the stride throws; every
+  // multiple decodes.
+  for (std::size_t len = 0; len <= 8; ++len) {
+    const std::vector<std::int64_t> payload(len, 7);
+    if (len % kWordsPerItem<ThreeInts> == 0) {
+      EXPECT_EQ(unpack_words<ThreeInts>(payload).size(),
+                len / kWordsPerItem<ThreeInts>);
+    } else {
+      EXPECT_THROW(unpack_words<ThreeInts>(payload), CodecError);
+    }
+  }
+}
+
+TEST(Codec, MessageDecodeRejectsCorruptPayload) {
+  // The typed-message path surfaces the same CodecError: a Message whose
+  // payload lost a word (transport corruption) fails decode<T>().
+  mpc::Message msg;
+  msg.from = 0;
+  msg.tag = 0;
+  msg.payload = {1, 2, 3};  // not a multiple of the 2-word stride
+  EXPECT_THROW(msg.decode<ThreeInts>(), CodecError);
+  msg.payload = {1, 2, 3, 4};
+  EXPECT_NO_THROW(msg.decode<ThreeInts>());
 }
 
 }  // namespace

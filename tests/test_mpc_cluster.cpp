@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <string>
 
 #include "mpc/dist_vector.h"
 
@@ -173,6 +176,214 @@ TEST(DistVectorTest, HostRoundTrip) {
   auto dv = DistVector<std::int64_t>::from_host(c, data);
   EXPECT_TRUE(dv.is_balanced());
   EXPECT_EQ(dv.to_host(), data);
+}
+
+TEST(ClusterValidation, RejectsBadConfigsAtConstruction) {
+  EXPECT_THROW(Cluster{small_config(0)}, InvalidRequestError);
+  EXPECT_THROW(Cluster{small_config(-3)}, InvalidRequestError);
+  EXPECT_THROW(Cluster{small_config(2, /*space=*/0)}, InvalidRequestError);
+
+  MpcConfig cfg = small_config(2);
+  cfg.checkpoint_interval = 0;
+  EXPECT_THROW(Cluster{cfg}, InvalidRequestError);
+
+  cfg = small_config(2);
+  cfg.faults.crash_prob = std::nan("");
+  EXPECT_THROW(Cluster{cfg}, InvalidRequestError);
+
+  cfg = small_config(2);
+  cfg.faults.drop_prob = 1.5;
+  EXPECT_THROW(Cluster{cfg}, InvalidRequestError);
+
+  cfg = small_config(2);
+  cfg.faults.corrupt_prob = -0.25;
+  EXPECT_THROW(Cluster{cfg}, InvalidRequestError);
+
+  cfg = small_config(2);
+  cfg.faults.max_round_retries = -1;
+  EXPECT_THROW(Cluster{cfg}, InvalidRequestError);
+
+  cfg = small_config(2);
+  cfg.faults.scheduled.push_back({/*round=*/0, /*machine=*/2,
+                                  FaultKind::kCrash});  // out of range
+  EXPECT_THROW(Cluster{cfg}, InvalidRequestError);
+
+  cfg = small_config(2);
+  cfg.faults.scheduled.push_back({/*round=*/-1, /*machine=*/0,
+                                  FaultKind::kCrash});
+  EXPECT_THROW(Cluster{cfg}, InvalidRequestError);
+}
+
+TEST(ClusterValidation, FullyScalableRejectsBadKnobs) {
+  EXPECT_THROW(MpcConfig::fully_scalable(0, 0.5), InvalidRequestError);
+  EXPECT_THROW(MpcConfig::fully_scalable(1 << 10, 0.0), InvalidRequestError);
+  EXPECT_THROW(MpcConfig::fully_scalable(1 << 10, 1.0), InvalidRequestError);
+  EXPECT_THROW(MpcConfig::fully_scalable(1 << 10, std::nan("")),
+               InvalidRequestError);
+  EXPECT_THROW(MpcConfig::fully_scalable(1 << 10, 0.5, 0.0),
+               InvalidRequestError);
+  EXPECT_THROW(MpcConfig::fully_scalable(1 << 10, 0.5, std::nan("")),
+               InvalidRequestError);
+  EXPECT_THROW(
+      MpcConfig::fully_scalable(1 << 10, 0.5,
+                                std::numeric_limits<double>::infinity()),
+      InvalidRequestError);
+  EXPECT_NO_THROW(MpcConfig::fully_scalable(1 << 10, 0.5));
+}
+
+TEST(Cluster, ClosureErrorsSurfaceLowestMachineDeterministically) {
+  // Two machines fail in the same round; the surfaced exception must be
+  // machine 1's on every execution, regardless of pool scheduling.
+  Cluster c(small_config(4));
+  for (int it = 0; it < 25; ++it) {
+    try {
+      c.run_round([](MachineCtx& mc) {
+        if (mc.id() == 1 || mc.id() == 3) {
+          throw std::runtime_error("boom from machine " +
+                                   std::to_string(mc.id()));
+        }
+      });
+      FAIL() << "expected the closure error to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom from machine 1");
+    }
+  }
+}
+
+TEST(Cluster, TwoOverBudgetMachinesReportTheLowerId) {
+  // Satellite regression: simultaneous budget overruns on machines 1 and 3
+  // must always cite machine 1.
+  Cluster c(small_config(4, /*space=*/16, /*strict=*/true));
+  for (int it = 0; it < 25; ++it) {
+    try {
+      c.run_round([](MachineCtx& mc) {
+        if (mc.id() == 1 || mc.id() == 3) {
+          mc.send(mc.id(), 0, std::vector<Word>(100, 1));
+        }
+      });
+      FAIL() << "expected SpaceLimitError";
+    } catch (const SpaceLimitError& e) {
+      EXPECT_EQ(e.machine(), 1);
+    }
+  }
+}
+
+TEST(ClusterChaos, ScheduledCrashRecoversBitIdentically) {
+  // A ring computation over a registered DistVector: each round, machine i
+  // adds its inbox word into its shard and forwards its running sum.
+  const auto run = [](FaultPlan fp) {
+    MpcConfig cfg = small_config(4);
+    cfg.faults = std::move(fp);
+    Cluster c(cfg);
+    std::vector<std::int64_t> init(32);
+    std::iota(init.begin(), init.end(), 1);
+    auto dv = DistVector<std::int64_t>::from_host(c, init);
+    for (int r = 0; r < 4; ++r) {
+      c.run_round([&](MachineCtx& mc) {
+        const std::int64_t i = mc.id();
+        std::int64_t got = 0;
+        for (const Message& msg : mc.inbox()) got += msg.payload.at(0);
+        auto& shard = dv.local(i);
+        std::int64_t sum = 0;
+        for (auto& x : shard) {
+          x += got;
+          sum += x;
+        }
+        mc.send((i + 1) % mc.machines(), 0, {sum});
+      });
+    }
+    return std::make_pair(dv.to_host(), c.stats());
+  };
+
+  const auto [clean, clean_stats] = run(FaultPlan{});
+  FaultPlan fp;
+  fp.scheduled.push_back({/*round=*/2, /*machine=*/1, FaultKind::kCrash});
+  const auto [chaos, chaos_stats] = run(fp);
+
+  // Bit-identical output, identical paper-side accounting.
+  EXPECT_EQ(chaos, clean);
+  EXPECT_EQ(chaos_stats.rounds, clean_stats.rounds);
+  EXPECT_EQ(chaos_stats.total_comm_words, clean_stats.total_comm_words);
+  // Recovery strictly on the recovery ledger.
+  EXPECT_EQ(clean_stats.recovery, RecoveryStats{});
+  EXPECT_EQ(chaos_stats.recovery.crashes_recovered, 1);
+  EXPECT_GE(chaos_stats.recovery.recovery_rounds, 1);
+  EXPECT_GE(chaos_stats.recovery.checkpoints, 4);
+  EXPECT_GT(chaos_stats.recovery.checkpoint_words, 0);
+  EXPECT_GT(chaos_stats.recovery.recovery_comm_words, 0);
+}
+
+TEST(ClusterChaos, CrashWithoutFreshCheckpointIsUnrecoverable) {
+  MpcConfig cfg = small_config(2);
+  cfg.checkpoint_interval = 2;  // rounds 0, 2, ... are checkpointed
+  cfg.faults.scheduled.push_back({/*round=*/1, /*machine=*/0,
+                                  FaultKind::kCrash});
+  Cluster c(cfg);
+  EXPECT_NO_THROW(c.run_round([](MachineCtx&) {}));  // round 0
+  try {
+    c.run_round([](MachineCtx&) {});  // round 1: crash, no round-1 snapshot
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.machine(), 0);
+    EXPECT_EQ(e.round(), 1);
+    EXPECT_EQ(e.code(), ErrorCode::kFault);
+  }
+}
+
+TEST(ClusterChaos, RetryBudgetExhaustionThrowsFaultError) {
+  MpcConfig cfg = small_config(2);
+  cfg.faults.crash_prob = 1.0;  // crash on every attempt
+  cfg.faults.max_round_retries = 3;
+  Cluster c(cfg);
+  EXPECT_THROW(c.run_round([](MachineCtx&) {}), FaultError);
+  // The exhausted retries are still accounted.
+  EXPECT_EQ(c.stats().recovery.recovery_rounds, 3);
+}
+
+TEST(ClusterChaos, CrashWithNonRecoverableResidentIsUnrecoverable) {
+  MpcConfig cfg = small_config(2);
+  cfg.faults.scheduled.push_back({/*round=*/0, /*machine=*/1,
+                                  FaultKind::kCrash});
+  Cluster c(cfg);
+  // Audit-only registration: words but no checkpoint/restore hooks.
+  const std::int64_t id = c.register_resident([](std::int64_t) {
+    return std::int64_t{1};
+  });
+  EXPECT_THROW(c.run_round([](MachineCtx&) {}), FaultError);
+  c.unregister_resident(id);
+}
+
+TEST(ClusterChaos, MessageFaultsAreMaskedByReliableTransport) {
+  MpcConfig cfg = small_config(2);
+  cfg.faults.drop_prob = 1.0;
+  cfg.faults.duplicate_prob = 1.0;
+  cfg.faults.corrupt_prob = 1.0;
+  Cluster c(cfg);
+  c.run_round([](MachineCtx& mc) {
+    if (mc.id() == 0) mc.send(1, 9, {10, 20, 30});
+  });
+  c.run_round([](MachineCtx& mc) {
+    if (mc.id() != 1) return;
+    // Delivery is pristine: the transport masked every injected event.
+    ASSERT_EQ(mc.inbox().size(), 1u);
+    EXPECT_EQ(mc.inbox()[0].payload, (std::vector<Word>{10, 20, 30}));
+  });
+  EXPECT_EQ(c.stats().recovery.messages_dropped, 1);
+  EXPECT_EQ(c.stats().recovery.messages_duplicated, 1);
+  EXPECT_EQ(c.stats().recovery.messages_corrupted, 1);
+  EXPECT_GT(c.stats().recovery.recovery_comm_words, 0);
+  // The paper-side ledger records the message once, as if fault-free.
+  EXPECT_EQ(c.stats().total_comm_words, 3 + 2);
+}
+
+TEST(ClusterChaos, StragglersAreCountedButHarmless) {
+  MpcConfig cfg = small_config(3);
+  cfg.faults.straggle_prob = 1.0;
+  Cluster c(cfg);
+  c.run_round([](MachineCtx&) {});
+  c.run_round([](MachineCtx&) {});
+  EXPECT_EQ(c.stats().recovery.straggler_delays, 2 * 3);
+  EXPECT_EQ(c.stats().rounds, 2);
 }
 
 TEST(DistVectorTest, MoveKeepsAuditingConsistent) {

@@ -46,11 +46,13 @@ TEST(SolverOptions, ValidationThrowsAtConstruction) {
   EXPECT_NO_THROW(Solver{});
   EXPECT_NO_THROW(Solver{SolverOptions{.backend = SolverBackend::kMpcSim}});
 
+  // Solver-validated knobs throw the taxonomy's InvalidRequestError.
   SolverOptions bad_backend;
   bad_backend.backend = static_cast<SolverBackend>(7);
-  EXPECT_THROW(Solver{bad_backend}, std::logic_error);
+  EXPECT_THROW(Solver{bad_backend}, InvalidRequestError);
 
-  // Engine knobs are validated by the owned engine's constructor.
+  // Engine knobs are validated by the owned engine's constructor, which
+  // keeps its std::logic_error contract.
   SolverOptions bad_cutoff;
   bad_cutoff.engine.base_case_cutoff = 0;
   EXPECT_THROW(Solver{bad_cutoff}, std::logic_error);
@@ -60,23 +62,23 @@ TEST(SolverOptions, ValidationThrowsAtConstruction) {
 
   SolverOptions bad_delta;
   bad_delta.mpc_delta = 1.0;
-  EXPECT_THROW(Solver{bad_delta}, std::logic_error);
+  EXPECT_THROW(Solver{bad_delta}, InvalidRequestError);
   SolverOptions bad_slack;
   bad_slack.mpc_slack = 0.0;
-  EXPECT_THROW(Solver{bad_slack}, std::logic_error);
+  EXPECT_THROW(Solver{bad_slack}, InvalidRequestError);
   SolverOptions bad_machines;
   bad_machines.cluster.num_machines = -1;
-  EXPECT_THROW(Solver{bad_machines}, std::logic_error);
+  EXPECT_THROW(Solver{bad_machines}, InvalidRequestError);
   SolverOptions bad_space;
   bad_space.cluster.num_machines = 2;
   bad_space.cluster.space_words = 0;
-  EXPECT_THROW(Solver{bad_space}, std::logic_error);
+  EXPECT_THROW(Solver{bad_space}, InvalidRequestError);
   SolverOptions bad_multiply;
   bad_multiply.multiply.split_h = -1;
-  EXPECT_THROW(Solver{bad_multiply}, std::logic_error);
+  EXPECT_THROW(Solver{bad_multiply}, InvalidRequestError);
   SolverOptions bad_classes;
   bad_classes.lis_leaf_classes = -1;
-  EXPECT_THROW(Solver{bad_classes}, std::logic_error);
+  EXPECT_THROW(Solver{bad_classes}, InvalidRequestError);
 }
 
 TEST(SolverOptions, EchoedExactlyAndBackendNames) {
@@ -371,6 +373,114 @@ TEST(SolverCluster, LazyProvisioningAndReuse) {
   (void)solver.solve(LisRequest{.seq = big});
   EXPECT_EQ(solver.cluster()->machines(),
             mpc::MpcConfig::fully_scalable(512, 0.5).num_machines);
+}
+
+TEST(SolverTrySolve, OkPathMatchesSolveBitIdentically) {
+  Rng rng(31);
+  const auto seq = random_sequence(96, 1 << 12, rng);
+  Solver solver;
+  const auto direct = solver.solve(LisRequest{.seq = seq, .want_kernel = true});
+  auto res = solver.try_solve(LisRequest{.seq = seq, .want_kernel = true});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.report.status, SolveStatus::kOk);
+  EXPECT_EQ(res.report.backend, SolverBackend::kSequential);
+  EXPECT_FALSE(res.report.degraded);
+  EXPECT_TRUE(res.report.message.empty());
+  EXPECT_EQ(res.report.recovery, mpc::RecoveryStats{});
+  EXPECT_EQ(res.value.lis, direct.lis);
+  EXPECT_EQ(res.value.kernel, direct.kernel);
+}
+
+TEST(SolverTrySolve, InvalidRequestIsClassifiedNotDegraded) {
+  Rng rng(32);
+  Solver solver;
+  // Inner dimension mismatch: invalid on every backend, never degraded.
+  MultiplyRequest bad{Perm::random(4, rng), Perm::random(5, rng)};
+  const auto res = solver.try_solve(bad);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.report.status, SolveStatus::kInvalidRequest);
+  EXPECT_FALSE(res.report.degraded);
+  EXPECT_FALSE(res.report.message.empty());
+}
+
+TEST(SolverTrySolve, ReportsRecoveryActivityOnChaoticOkRuns) {
+  // Auto-provisioned MpcSim cluster with a recoverable chaos plan: the
+  // faults carry into the provisioned config, the run succeeds, and the
+  // report's recovery delta shows the masked events.
+  Rng rng(33);
+  const auto seq = random_sequence(96, 1 << 12, rng);
+  SolverOptions opts;
+  opts.backend = SolverBackend::kMpcSim;
+  opts.cluster.threads = 1;
+  opts.cluster.faults.seed = 7;
+  opts.cluster.faults.drop_prob = 1.0;
+  Solver solver(opts);
+  Solver clean({.backend = SolverBackend::kMpcSim,
+                .cluster = {.num_machines = 0, .threads = 1}});
+  const auto baseline = clean.solve(LisRequest{.seq = seq});
+  auto res = solver.try_solve(LisRequest{.seq = seq});
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.report.degraded);
+  EXPECT_EQ(res.value.lis, baseline.lis);
+  EXPECT_EQ(res.value.rounds, baseline.rounds);  // paper ledger unchanged
+  EXPECT_GT(res.report.recovery.messages_dropped, 0);
+  EXPECT_GT(res.report.recovery.recovery_comm_words, 0);
+}
+
+TEST(SolverTrySolve, UnrecoverableFaultDegradesToSequential) {
+  Rng rng(34);
+  const auto seq = random_sequence(96, 1 << 12, rng);
+  SolverOptions opts;
+  opts.backend = SolverBackend::kMpcSim;
+  opts.cluster.num_machines = 4;
+  opts.cluster.space_words = 1 << 20;
+  opts.cluster.threads = 1;
+  // Crash in an uncheckpointed round: recovery is impossible by design.
+  opts.cluster.checkpoint_interval = 2;
+  opts.cluster.faults.scheduled.push_back(
+      {/*round=*/1, /*machine=*/0, mpc::FaultKind::kCrash});
+  Solver solver(opts);
+
+  // solve() throws the taxonomy error; try_solve degrades instead.
+  EXPECT_THROW(solver.solve(LisRequest{.seq = seq}), FaultError);
+  auto res = solver.try_solve(LisRequest{.seq = seq});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.report.degraded);
+  EXPECT_EQ(res.report.backend, SolverBackend::kSequential);
+  EXPECT_NE(res.report.message.find("fault"), std::string::npos);
+  EXPECT_NE(res.report.message.find("degraded to sequential"),
+            std::string::npos);
+  EXPECT_EQ(res.value.lis, lis::lis_length(seq));
+  // The failed cluster was torn down for a clean slate.
+  EXPECT_EQ(solver.cluster(), nullptr);
+}
+
+TEST(SolverTrySolve, SpaceOverrunDegradesToSequential) {
+  Rng rng(35);
+  const auto seq = random_sequence(256, 1 << 12, rng);
+  SolverOptions opts;
+  opts.backend = SolverBackend::kMpcSim;
+  opts.cluster.num_machines = 4;
+  opts.cluster.space_words = 8;  // absurdly tight: guaranteed overrun
+  opts.cluster.strict = true;
+  opts.cluster.threads = 1;
+  Solver solver(opts);
+  auto res = solver.try_solve(LisRequest{.seq = seq});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.report.degraded);
+  EXPECT_NE(res.report.message.find("space-limit"), std::string::npos);
+  EXPECT_EQ(res.value.lis, lis::lis_length(seq));
+}
+
+TEST(SolverTrySolve, StatusNames) {
+  EXPECT_STREQ(solve_status_name(SolveStatus::kOk), "ok");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kInvalidRequest),
+               "invalid-request");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kSpaceLimit), "space-limit");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kFault), "fault");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kCodec), "codec");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kInternalError),
+               "internal-error");
 }
 
 }  // namespace
