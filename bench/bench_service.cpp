@@ -1,0 +1,320 @@
+// Sustained-throughput benchmark for monge::SolverService (api/service.h).
+//
+// Closed-loop clients replay a mixed multiply/LIS/LCS trace against one
+// service instance. A configurable fraction of the trace re-draws from a
+// small hot set of requests ("duplicate ratio"), the rest are unique —
+// so the run exercises the digest cache and in-flight dedup exactly the
+// way repeated traffic would. Reports qps, p50/p99 latency per request
+// kind and overall, and the service's own counters (cache hit rate,
+// coalesce rate); optionally snapshots everything to a JSON file
+// (BENCH_service.json is a committed run of this).
+//
+// Usage:
+//   bench_service [--requests N] [--duplicate-ratio R] [--clients C]
+//                 [--workers W] [--queue-depth D] [--cache-capacity K]
+//                 [--hot-set H] [--seed S] [--json PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace monge;
+
+namespace {
+
+struct BenchOptions {
+  std::int64_t requests = 2000;
+  double duplicate_ratio = 0.5;
+  int clients = 4;
+  unsigned workers = 0;  // 0 = hardware concurrency
+  std::size_t queue_depth = 256;
+  std::size_t cache_capacity = 1024;
+  std::int64_t hot_set = 12;  // distinct requests the duplicates draw from
+  std::uint64_t seed = 1;
+  const char* json = nullptr;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--requests N] [--duplicate-ratio R] [--clients C]"
+               " [--workers W] [--queue-depth D] [--cache-capacity K]"
+               " [--hot-set H] [--seed S] [--json PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0;
+    };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (flag("--requests")) {
+      o.requests = std::atoll(value());
+    } else if (flag("--duplicate-ratio")) {
+      o.duplicate_ratio = std::atof(value());
+    } else if (flag("--clients")) {
+      o.clients = std::atoi(value());
+    } else if (flag("--workers")) {
+      o.workers = static_cast<unsigned>(std::atoi(value()));
+    } else if (flag("--queue-depth")) {
+      o.queue_depth = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag("--cache-capacity")) {
+      o.cache_capacity = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag("--hot-set")) {
+      o.hot_set = std::atoll(value());
+    } else if (flag("--seed")) {
+      o.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (flag("--json")) {
+      o.json = value();
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (o.requests < 1 || o.clients < 1 || o.hot_set < 1 ||
+      o.duplicate_ratio < 0.0 || o.duplicate_ratio > 1.0) {
+    usage_and_exit(argv[0]);
+  }
+  return o;
+}
+
+std::vector<std::int64_t> random_sequence(std::int64_t n, std::int64_t hi,
+                                          Rng& rng) {
+  std::vector<std::int64_t> seq(static_cast<std::size_t>(n));
+  for (auto& x : seq) x = rng.next_in(0, hi);
+  return seq;
+}
+
+enum class Kind { kMultiply = 0, kLis = 1, kLcs = 2 };
+
+// One pre-generated request of any kind; the hot set and every unique
+// request are drawn from this shape. Payload sizes are deliberately small
+// (n = 192/160, 40x48) so the bench measures the service tier — queueing,
+// digesting, caching, future plumbing — with solve costs that do not
+// drown everything else.
+struct TraceRequest {
+  Kind kind;
+  MultiplyRequest multiply{Perm::identity(1), Perm::identity(1)};
+  LisRequest lis;
+  LcsRequest lcs;
+};
+
+TraceRequest make_request(Kind kind, Rng& rng) {
+  TraceRequest r{.kind = kind};
+  switch (kind) {
+    case Kind::kMultiply:
+      r.multiply = {Perm::random(192, rng), Perm::random(192, rng)};
+      break;
+    case Kind::kLis:
+      r.lis = {.seq = random_sequence(160, 1 << 16, rng)};
+      break;
+    case Kind::kLcs:
+      r.lcs = {random_sequence(40, 8, rng), random_sequence(48, 8, rng)};
+      break;
+  }
+  return r;
+}
+
+struct LatencyRecorder {
+  std::vector<double> by_kind[3];  // microseconds
+
+  void record(Kind kind, double us) {
+    by_kind[static_cast<int>(kind)].push_back(us);
+  }
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions bopts = parse_args(argc, argv);
+
+  // Hot set: the requests duplicates re-draw. Round-robin over kinds so
+  // every lane sees duplicate traffic.
+  Rng setup_rng(bopts.seed);
+  std::vector<TraceRequest> hot;
+  hot.reserve(static_cast<std::size_t>(bopts.hot_set));
+  for (std::int64_t i = 0; i < bopts.hot_set; ++i) {
+    hot.push_back(make_request(static_cast<Kind>(i % 3), setup_rng));
+  }
+
+  ServiceOptions sopts;
+  sopts.workers = bopts.workers;
+  sopts.queue_depth = bopts.queue_depth;
+  sopts.cache_capacity = bopts.cache_capacity;
+  SolverService service(sopts);
+
+  const auto submit_and_wait = [&](const TraceRequest& r) {
+    switch (r.kind) {
+      case Kind::kMultiply:
+        (void)service.submit(r.multiply).get();
+        break;
+      case Kind::kLis:
+        (void)service.submit(r.lis).get();
+        break;
+      case Kind::kLcs:
+        (void)service.submit(r.lcs).get();
+        break;
+    }
+  };
+
+  // Closed-loop clients: each owns a deterministic slice of the trace and
+  // issues submit();get() back to back.
+  std::vector<LatencyRecorder> recorders(
+      static_cast<std::size_t>(bopts.clients));
+  std::vector<std::thread> clients;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int tid = 0; tid < bopts.clients; ++tid) {
+    clients.emplace_back([&, tid] {
+      Rng rng(bopts.seed * 1000003 + static_cast<std::uint64_t>(tid));
+      auto& rec = recorders[static_cast<std::size_t>(tid)];
+      const std::int64_t share = bopts.requests / bopts.clients +
+                                 (tid < bopts.requests % bopts.clients);
+      for (std::int64_t i = 0; i < share; ++i) {
+        const bool duplicate =
+            static_cast<double>(rng.next_below(1u << 30)) /
+                static_cast<double>(1u << 30) <
+            bopts.duplicate_ratio;
+        TraceRequest fresh{.kind = static_cast<Kind>(rng.next_below(3))};
+        if (!duplicate) fresh = make_request(fresh.kind, rng);
+        const TraceRequest& req =
+            duplicate ? hot[rng.next_below(
+                            static_cast<std::uint64_t>(hot.size()))]
+                      : fresh;
+        const auto t0 = std::chrono::steady_clock::now();
+        submit_and_wait(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        rec.record(req.kind,
+                   std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> all;
+  std::vector<double> per_kind[3];
+  for (auto& rec : recorders) {
+    for (int k = 0; k < 3; ++k) {
+      per_kind[k].insert(per_kind[k].end(), rec.by_kind[k].begin(),
+                         rec.by_kind[k].end());
+      all.insert(all.end(), rec.by_kind[k].begin(), rec.by_kind[k].end());
+    }
+  }
+  const ServiceStats stats = service.stats();
+  const double qps = static_cast<double>(bopts.requests) / wall_s;
+  const double p50 = percentile(all, 0.50);
+  const double p99 = percentile(all, 0.99);
+  const double hit_rate =
+      static_cast<double>(stats.cache_hits) /
+      static_cast<double>(std::max<std::int64_t>(stats.submitted, 1));
+  const double coalesce_rate =
+      static_cast<double>(stats.coalesced) /
+      static_cast<double>(std::max<std::int64_t>(stats.submitted, 1));
+
+  std::printf(
+      "SolverService sustained throughput: %lld requests, %d clients, "
+      "%u workers, duplicate ratio %.2f (hot set %lld)\n\n",
+      static_cast<long long>(bopts.requests), bopts.clients,
+      service.workers(), bopts.duplicate_ratio,
+      static_cast<long long>(bopts.hot_set));
+  Table t({"metric", "value"});
+  t.add_row({"wall seconds", Table::num(wall_s, 3)});
+  t.add_row({"qps", Table::num(qps, 1)});
+  t.add_row({"p50 us", Table::num(p50, 1)});
+  t.add_row({"p99 us", Table::num(p99, 1)});
+  const char* kind_name[3] = {"multiply", "lis", "lcs"};
+  for (int k = 0; k < 3; ++k) {
+    t.add_row({std::string(kind_name[k]) + " p50 us",
+               Table::num(percentile(per_kind[k], 0.50), 1)});
+  }
+  t.add_row({"cache hit rate", Table::num(hit_rate, 3)});
+  t.add_row({"coalesce rate", Table::num(coalesce_rate, 3)});
+  t.add_row({"solves", std::to_string(stats.solves)});
+  t.add_row({"cache hits", std::to_string(stats.cache_hits)});
+  t.add_row({"coalesced", std::to_string(stats.coalesced)});
+  t.add_row({"rejected", std::to_string(stats.rejected)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  if (bopts.json != nullptr) {
+    FILE* f = std::fopen(bopts.json, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", bopts.json);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"bench_service\",\n"
+        "  \"config\": {\n"
+        "    \"requests\": %lld,\n"
+        "    \"duplicate_ratio\": %.3f,\n"
+        "    \"hot_set\": %lld,\n"
+        "    \"clients\": %d,\n"
+        "    \"workers\": %u,\n"
+        "    \"queue_depth\": %zu,\n"
+        "    \"cache_capacity\": %zu,\n"
+        "    \"seed\": %llu\n"
+        "  },\n"
+        "  \"metrics\": {\n"
+        "    \"wall_seconds\": %.4f,\n"
+        "    \"qps\": %.1f,\n"
+        "    \"p50_us\": %.1f,\n"
+        "    \"p99_us\": %.1f,\n"
+        "    \"multiply_p50_us\": %.1f,\n"
+        "    \"lis_p50_us\": %.1f,\n"
+        "    \"lcs_p50_us\": %.1f,\n"
+        "    \"cache_hit_rate\": %.4f,\n"
+        "    \"coalesce_rate\": %.4f\n"
+        "  },\n"
+        "  \"service_stats\": {\n"
+        "    \"submitted\": %lld,\n"
+        "    \"admitted\": %lld,\n"
+        "    \"rejected\": %lld,\n"
+        "    \"coalesced\": %lld,\n"
+        "    \"cache_hits\": %lld,\n"
+        "    \"solves\": %lld,\n"
+        "    \"solve_errors\": %lld\n"
+        "  }\n"
+        "}\n",
+        static_cast<long long>(bopts.requests), bopts.duplicate_ratio,
+        static_cast<long long>(bopts.hot_set), bopts.clients,
+        service.workers(), bopts.queue_depth, bopts.cache_capacity,
+        static_cast<unsigned long long>(bopts.seed), wall_s, qps, p50, p99,
+        percentile(per_kind[0], 0.50), percentile(per_kind[1], 0.50),
+        percentile(per_kind[2], 0.50), hit_rate, coalesce_rate,
+        static_cast<long long>(stats.submitted),
+        static_cast<long long>(stats.admitted),
+        static_cast<long long>(stats.rejected),
+        static_cast<long long>(stats.coalesced),
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.solves),
+        static_cast<long long>(stats.solve_errors));
+    std::fclose(f);
+    std::printf("snapshot written to %s\n", bopts.json);
+  }
+  return 0;
+}

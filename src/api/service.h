@@ -1,0 +1,274 @@
+// monge::SolverService — the asynchronous, deduplicating serving tier.
+//
+// Solver (api/solver.h) is deliberately synchronous and single-tenant: one
+// engine arena, one cluster, one request at a time. SolverService is the
+// layer the ROADMAP's "traffic from millions of users" north star needs on
+// top of it: submit(Request) -> std::future<Result> over a pool of N
+// workers, EACH owning a private Solver (per-worker engines, so arenas
+// never contend and MpcSim clusters never interleave requests), with
+//
+//   * bounded admission — a request queue of configurable depth. When it
+//     is full, submit() either blocks until a slot frees
+//     (AdmissionPolicy::kBlock) or refuses immediately
+//     (AdmissionPolicy::kReject: submit throws OverloadedError, try_submit
+//     returns a SolveReport with SolveStatus::kOverloaded). Coalesced and
+//     cache-served requests never consume a queue slot.
+//
+//   * request deduplication — every request is keyed by a 128-bit digest
+//     of its payload (request_digest below). Concurrent identical requests
+//     coalesce onto ONE underlying solve: the first submit enqueues a job,
+//     later identical submits just attach a waiter to the in-flight entry
+//     and are fulfilled from the same computation. Identical permutations
+//     or sequences submitted by many users are solved exactly once — the
+//     request-level analogue of the semi-local "index once, query many"
+//     direction (Gawrychowski–Mozes–Weimann, arXiv 1307.2313).
+//
+//   * a result cache — completed results enter an LRU-bounded,
+//     digest-keyed cache (cache_capacity entries per request type); a
+//     later identical request is fulfilled immediately with a copy, bit-
+//     identical to a fresh solve (pinned in tests/test_service.cpp).
+//     try_submit marks such answers report.cached. Degraded results
+//     (MpcSim fallback) are NOT cached: their shape (rounds, reports)
+//     differs from what a healthy backend returns.
+//
+// submit() and try_submit() differ exactly like Solver::solve() and
+// Solver::try_solve(): a submit() future rethrows the monge::Error
+// taxonomy from get(), while a try_submit() future always resolves to a
+// TrySolveResult whose SolveReport classifies the outcome — including the
+// PR 6 chaos path, where an unrecoverable MpcSim fault degrades the
+// request to the Sequential backend on the worker and the report says so.
+// Because the two flavors have different failure semantics (throw vs
+// degrade), they coalesce only with in-flight requests of the SAME flavor;
+// both share the result cache.
+//
+// Lifecycle: the destructor stops admitting, wakes blocked submitters
+// (they observe the shutdown and refuse), DRAINS every already-admitted
+// job, and joins the workers — an admitted future is always fulfilled
+// (the ThreadPool shutdown-drain contract, util/thread_pool.h).
+//
+// Thread safety: all public members are safe to call from any number of
+// threads concurrently, except the destructor, which must not race other
+// calls (standard object lifetime rules).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/solver.h"
+#include "util/thread_pool.h"
+
+namespace monge {
+
+/// 128-bit digest of a request payload — the dedup/cache key. Collisions
+/// between distinct payloads are treated as impossible (2^-64 birthday
+/// regime at any plausible cache size); equal payloads always digest
+/// equally, so a hit is a semantic hit.
+struct RequestDigest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const RequestDigest&, const RequestDigest&) = default;
+};
+
+/// Digest of a multiply request: kind, shapes and both row->col arrays,
+/// length-prefixed so concatenation ambiguities cannot collide.
+RequestDigest request_digest(const MultiplyRequest& req);
+/// Digest of a LIS request: sequence, want_kernel flag and windows.
+RequestDigest request_digest(const LisRequest& req);
+/// Digest of an LCS request: both sequences, length-prefixed.
+RequestDigest request_digest(const LcsRequest& req);
+
+/// What submit() does when the bounded queue is at queue_depth.
+enum class AdmissionPolicy {
+  /// Block the submitting thread until a slot frees (backpressure).
+  kBlock = 0,
+  /// Refuse immediately: submit() throws OverloadedError, try_submit()
+  /// returns SolveStatus::kOverloaded (load shedding).
+  kReject = 1,
+};
+
+/// Construction-time configuration of a SolverService. Validated by the
+/// constructor; invalid values throw monge::InvalidRequestError.
+struct ServiceOptions {
+  /// Per-worker Solver configuration (backend, engine knobs, MPC
+  /// provisioning, chaos plans). Every worker constructs its own Solver
+  /// from this, so engine arenas and clusters are never shared.
+  SolverOptions solver{};
+  /// Worker count; 0 picks hardware_concurrency (at least 1).
+  unsigned workers = 0;
+  /// Bounded request-queue depth (admitted-but-unstarted jobs). Must be
+  /// >= 1. Coalesced/cached requests never occupy a slot.
+  std::size_t queue_depth = 256;
+  /// Full-queue behavior of submit()/try_submit().
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Result-cache capacity in entries PER request type (multiply/LIS/LCS
+  /// results are cached in separate LRU maps). 0 disables caching;
+  /// in-flight dedup still applies.
+  std::size_t cache_capacity = 1024;
+  /// Test/telemetry seam: when set, every worker calls this immediately
+  /// before each underlying solve (on the worker thread). Must not throw.
+  /// The dedup and admission tests use it to hold workers at a barrier.
+  std::function<void()> solve_hook;
+};
+
+/// Monotonic counters of one SolverService, returned by stats() as a
+/// consistent snapshot.
+struct ServiceStats {
+  std::int64_t submitted = 0;    ///< submit/try_submit calls accepted into
+                                 ///< the service (any outcome).
+  std::int64_t admitted = 0;     ///< jobs enqueued for a worker.
+  std::int64_t rejected = 0;     ///< admissions refused (queue full or
+                                 ///< shutdown).
+  std::int64_t coalesced = 0;    ///< requests attached to an in-flight
+                                 ///< identical computation.
+  std::int64_t cache_hits = 0;   ///< requests served from the result cache.
+  std::int64_t solves = 0;       ///< underlying Solver solve/try_solve
+                                 ///< calls actually executed.
+  std::int64_t solve_errors = 0; ///< solves that ended in an exception
+                                 ///< (submit flavor) or a non-ok report.
+
+  friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
+};
+
+/// Outcome of try_submit: an admission report plus, when admitted, a
+/// future resolving to the request's TrySolveResult.
+template <typename Result>
+struct Submission {
+  /// Valid iff admitted(): resolves to value + SolveReport, never throws
+  /// from get() for taxonomy errors (kInternalError covers the rest).
+  std::future<TrySolveResult<Result>> future;
+  /// Admission outcome: kOk (queued, coalesced, or cache-served) or
+  /// kOverloaded (queue full under kReject, or shutting down — `future`
+  /// is invalid and the request was not accepted).
+  SolveReport admission;
+
+  bool admitted() const { return admission.ok(); }
+};
+
+class SolverService {
+ public:
+  /// Validates the options (InvalidRequestError on bad knobs; the nested
+  /// SolverOptions are validated by each worker's Solver constructor, so
+  /// invalid solver knobs also throw here, from the first worker), then
+  /// starts the workers.
+  explicit SolverService(ServiceOptions options = {});
+
+  /// Stops admitting, wakes blocked submitters, drains every admitted job
+  /// and joins the workers. Every future returned by submit/try_submit is
+  /// fulfilled before the destructor returns.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Asynchronous Solver::solve(): the future resolves to the result, or
+  /// rethrows the monge::Error taxonomy from get(). Served from the
+  /// result cache or an in-flight identical computation when possible;
+  /// otherwise admitted under the configured policy — throws
+  /// OverloadedError when refused (kReject and full, or shutting down).
+  std::future<MultiplyResult> submit(MultiplyRequest req);
+  /// @copydoc submit(MultiplyRequest)
+  std::future<LisResult> submit(LisRequest req);
+  /// @copydoc submit(MultiplyRequest)
+  std::future<LcsResult> submit(LcsRequest req);
+
+  /// Asynchronous Solver::try_solve(): never throws for taxonomy errors.
+  /// Admission refusals come back synchronously in Submission::admission
+  /// (SolveStatus::kOverloaded); admitted requests resolve to the worker's
+  /// TrySolveResult — including MpcSim degradation, exactly as
+  /// Solver::try_solve reports it. Cache hits resolve immediately with
+  /// report.cached = true.
+  Submission<MultiplyResult> try_submit(MultiplyRequest req);
+  /// @copydoc try_submit(MultiplyRequest)
+  Submission<LisResult> try_submit(LisRequest req);
+  /// @copydoc try_submit(MultiplyRequest)
+  Submission<LcsResult> try_submit(LcsRequest req);
+
+  /// A consistent snapshot of the service counters.
+  ServiceStats stats() const;
+
+  /// The options, exactly as validated at construction.
+  const ServiceOptions& options() const { return options_; }
+
+  /// Number of running workers (resolved from options().workers).
+  unsigned workers() const { return pool_->thread_count(); }
+
+ private:
+  /// One in-flight computation: the promises of every coalesced waiter of
+  /// one flavor. Fulfilled (and erased) by the worker that runs the job.
+  template <typename Result>
+  struct Flight {
+    std::vector<std::promise<Result>> solve_waiters;
+    std::vector<std::promise<TrySolveResult<Result>>> try_waiters;
+  };
+
+  struct DigestHash {
+    std::size_t operator()(const RequestDigest& d) const {
+      return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  /// Per-request-type state: the in-flight table (keyed by digest with the
+  /// submit/try flavor mixed in — the flavors have different failure
+  /// semantics, so they never coalesce with each other) and the LRU result
+  /// cache (keyed by the pure digest — both flavors share values).
+  template <typename Request, typename Result>
+  struct Lane {
+    using FlightPtr = std::shared_ptr<Flight<Result>>;
+    std::unordered_map<RequestDigest, FlightPtr, DigestHash> in_flight;
+    std::list<std::pair<RequestDigest, Result>> lru;  // front = most recent
+    std::unordered_map<
+        RequestDigest,
+        typename std::list<std::pair<RequestDigest, Result>>::iterator,
+        DigestHash>
+        cache;
+  };
+
+  template <typename Request, typename Result>
+  Lane<Request, Result>& lane();
+
+  /// Shared submit machinery; IsTry selects the flavor. Defined in
+  /// service.cpp (only instantiated there).
+  template <bool IsTry, typename Request, typename Result>
+  std::conditional_t<IsTry, Submission<Result>, std::future<Result>>
+  submit_impl(Request req);
+
+  /// Runs one admitted job on a worker's Solver and fulfills its waiters.
+  template <bool IsTry, typename Request, typename Result>
+  void run_job(Solver& solver, const Request& req, RequestDigest key,
+               RequestDigest flight_key);
+
+  template <typename Request, typename Result>
+  const Result* cache_find_locked(RequestDigest key);
+  template <typename Request, typename Result>
+  void cache_insert_locked(RequestDigest key, const Result& value);
+
+  void worker_loop();
+
+  ServiceOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< workers: a job or shutdown.
+  std::condition_variable space_cv_;  ///< blocked submitters: a free slot.
+  std::deque<std::function<void(Solver&)>> queue_;
+  bool shutdown_ = false;
+  ServiceStats stats_;
+  Lane<MultiplyRequest, MultiplyResult> multiply_lane_;
+  Lane<LisRequest, LisResult> lis_lane_;
+  Lane<LcsRequest, LcsResult> lcs_lane_;
+  /// Last member: its destructor joins the worker loops, which may touch
+  /// every field above while draining.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace monge

@@ -1,6 +1,9 @@
 #include "api/solver.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -80,6 +83,8 @@ const char* solve_status_name(SolveStatus status) {
       return "codec";
     case SolveStatus::kInternalError:
       return "internal-error";
+    case SolveStatus::kOverloaded:
+      return "overloaded";
   }
   MONGE_CHECK_MSG(false, "invalid SolveStatus");
 }
@@ -376,8 +381,10 @@ LcsResult Solver::solve_on(SolverBackend backend, const LcsRequest& req) {
       break;
     }
     case SolverBackend::kReference:
-      out.matches = static_cast<std::int64_t>(
-          lcs::hs_match_sequence(req.s, req.t).size());
+      // Counting matches does not need the (worst-case |s|·|t|-sized)
+      // match sequence itself — hs_match_count streams the occurrence
+      // table instead of materializing it just to read .size().
+      out.matches = lcs::hs_match_count(req.s, req.t);
       out.lcs = lcs::lcs_dp(req.s, req.t);
       break;
     case SolverBackend::kMpcSim: {
@@ -400,7 +407,60 @@ LcsResult Solver::solve_on(SolverBackend backend, const LcsRequest& req) {
 
 std::vector<LcsResult> Solver::solve_batch(std::span<const LcsRequest> reqs) {
   std::vector<LcsResult> out(reqs.size());
-  for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = solve(reqs[i]);
+  if (options_.backend != SolverBackend::kSequential || reqs.size() <= 1) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = solve(reqs[i]);
+    return out;
+  }
+  // Sequential fast path: requests are grouped by (t, s), so the
+  // Hunt–Szymanski occurrence table is built once per distinct t, the
+  // match sequence once per distinct (s, t) pair (identical requests
+  // collapse onto one subproblem), and every distinct LIS subproblem rides
+  // ONE lis_kernel_batch forest pass — one batched engine call per merge
+  // level, striped across the engine pool when one is configured. The LIS
+  // length read off a kernel equals patience sorting's, so results stay
+  // bit-identical to the per-request loop (pinned in test_solver.cpp).
+  std::vector<std::size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     if (reqs[x].t != reqs[y].t) return reqs[x].t < reqs[y].t;
+                     return reqs[x].s < reqs[y].s;
+                   });
+
+  std::optional<lcs::HsOccurrences> occ;  // of the current t group
+  std::vector<std::vector<std::int32_t>> perms;
+  std::vector<std::vector<std::size_t>> perm_users;  // perms[k] answers these
+  for (std::size_t g = 0; g < order.size();) {
+    const LcsRequest& head = reqs[order[g]];
+    if (g == 0 || reqs[order[g - 1]].t != head.t) occ.emplace(head.t);
+    std::size_t h = g;
+    while (h < order.size() && reqs[order[h]].t == head.t &&
+           reqs[order[h]].s == head.s) {
+      ++h;
+    }
+    auto seq = occ->match_sequence(head.s);
+    const auto matches = static_cast<std::int64_t>(seq.size());
+    for (std::size_t k = g; k < h; ++k) out[order[k]].matches = matches;
+    if (seq.empty()) {
+      // No matches: LCS is 0, no LIS subproblem to schedule.
+    } else if (matches > kSeaweedEngineMaxN) {
+      // Too large for one engine kernel; patience answers the group once.
+      const std::int64_t lcs_len = lis::lis_length(seq);
+      for (std::size_t k = g; k < h; ++k) out[order[k]].lcs = lcs_len;
+    } else {
+      perms.push_back(lis::rank_reduce_strict(seq));
+      perm_users.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(g),
+                              order.begin() + static_cast<std::ptrdiff_t>(h));
+    }
+    g = h;
+  }
+  if (!perms.empty()) {
+    const auto kernels = lis::lis_kernel_batch(perms, engine_);
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      const std::int64_t lcs_len = lis::lis_from_kernel(kernels[k]);
+      for (const std::size_t i : perm_users[k]) out[i].lcs = lcs_len;
+    }
+  }
   return out;
 }
 
@@ -417,6 +477,8 @@ SolveStatus status_of(const Error& e) {
       return SolveStatus::kFault;
     case ErrorCode::kSpaceLimit:
       return SolveStatus::kSpaceLimit;
+    case ErrorCode::kOverloaded:
+      return SolveStatus::kOverloaded;
   }
   return SolveStatus::kInternalError;
 }

@@ -89,8 +89,8 @@ enum class SolverBackend {
 ///     "reference") for logging and bench labels.
 const char* solver_backend_name(SolverBackend backend);
 
-/// Outcome classification of a try_solve call — the ErrorCode taxonomy
-/// (util/error.h) plus kOk and a kInternalError catch-all.
+/// Outcome classification of a try_solve / try_submit call — the ErrorCode
+/// taxonomy (util/error.h) plus kOk and a kInternalError catch-all.
 enum class SolveStatus {
   kOk = 0,             ///< the request solved (possibly degraded).
   kInvalidRequest = 1, ///< InvalidRequestError or a failed precondition.
@@ -98,10 +98,11 @@ enum class SolveStatus {
   kFault = 3,          ///< FaultError (unrecoverable injected fault).
   kCodec = 4,          ///< CodecError (corrupt payload).
   kInternalError = 5,  ///< any other exception — a bug, report it.
+  kOverloaded = 6,     ///< OverloadedError (service admission refused).
 };
 
 /// @return a stable human-readable name ("ok", "invalid-request",
-///     "space-limit", "fault", "codec", "internal-error").
+///     "space-limit", "fault", "codec", "internal-error", "overloaded").
 const char* solve_status_name(SolveStatus status);
 
 /// Per-request outcome report returned by try_solve alongside the result.
@@ -114,6 +115,10 @@ struct SolveReport {
   /// True when the MpcSim backend failed (fault / space overrun) and the
   /// request was re-solved on the Sequential backend.
   bool degraded = false;
+  /// True when the value was served from the SolverService result cache
+  /// (api/service.h) instead of a fresh solve. Always false from
+  /// Solver::try_solve.
+  bool cached = false;
   /// Human-readable diagnosis; empty on a clean kOk.
   std::string message;
   /// Recovery activity this request caused on the MpcSim cluster
@@ -209,8 +214,12 @@ class Solver {
   /// patience sorting. MpcSim/Reference: per-request solve().
   std::vector<LisResult> solve_batch(std::span<const LisRequest> reqs);
 
-  /// Batched LCS: per-request solve() on every backend (the HS match
-  /// generation has no shared fast path yet; documented, not hidden).
+  /// Batched LCS, results in request order. Sequential: requests are
+  /// grouped by (t, s) — the Hunt–Szymanski occurrence table is built once
+  /// per distinct t, identical (s, t) pairs collapse onto one subproblem,
+  /// and all distinct match-sequence LIS subproblems ride one
+  /// lis_kernel_batch forest pass. Bit-identical to per-request solve().
+  /// MpcSim/Reference: per-request solve().
   std::vector<LcsResult> solve_batch(std::span<const LcsRequest> reqs);
 
   /// Non-throwing solve(): classifies any monge::Error into a SolveStatus

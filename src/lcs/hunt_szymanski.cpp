@@ -7,21 +7,45 @@
 
 namespace monge::lcs {
 
-std::vector<std::int64_t> hs_match_sequence(std::span<const std::int64_t> s,
-                                            std::span<const std::int64_t> t) {
-  std::map<std::int64_t, std::vector<std::int64_t>> positions;  // value -> js
+HsOccurrences::HsOccurrences(std::span<const std::int64_t> t) {
   for (std::size_t j = 0; j < t.size(); ++j) {
-    positions[t[j]].push_back(static_cast<std::int64_t>(j));
+    positions_[t[j]].push_back(static_cast<std::int64_t>(j));
   }
+}
+
+std::vector<std::int64_t> HsOccurrences::match_sequence(
+    std::span<const std::int64_t> s) const {
   std::vector<std::int64_t> out;
   for (std::size_t i = 0; i < s.size(); ++i) {
-    const auto it = positions.find(s[i]);
-    if (it == positions.end()) continue;
+    const auto it = positions_.find(s[i]);
+    if (it == positions_.end()) continue;
     for (auto rj = it->second.rbegin(); rj != it->second.rend(); ++rj) {
       out.push_back(*rj);  // j descending within one i
     }
   }
   return out;
+}
+
+std::int64_t HsOccurrences::match_count(
+    std::span<const std::int64_t> s) const {
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto it = positions_.find(s[i]);
+    if (it != positions_.end()) {
+      count += static_cast<std::int64_t>(it->second.size());
+    }
+  }
+  return count;
+}
+
+std::vector<std::int64_t> hs_match_sequence(std::span<const std::int64_t> s,
+                                            std::span<const std::int64_t> t) {
+  return HsOccurrences(t).match_sequence(s);
+}
+
+std::int64_t hs_match_count(std::span<const std::int64_t> s,
+                            std::span<const std::int64_t> t) {
+  return HsOccurrences(t).match_count(s);
 }
 
 std::int64_t lcs_hs(std::span<const std::int64_t> s,

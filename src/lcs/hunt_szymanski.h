@@ -7,14 +7,42 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
 namespace monge::lcs {
 
+/// Occurrence table of one text T: value -> positions j (ascending). Build
+/// it once per distinct T and stream many queries S against it — the table
+/// is the O(|t| log |t|) half of hs_match_sequence, so batch callers
+/// (Solver::solve_batch over LcsRequests) amortize it across every request
+/// sharing T instead of rebuilding it per pair.
+class HsOccurrences {
+ public:
+  explicit HsOccurrences(std::span<const std::int64_t> t);
+
+  /// All matching pairs' j values against the table's T, ordered by
+  /// (i asc, j desc) — identical to hs_match_sequence(s, t).
+  std::vector<std::int64_t> match_sequence(
+      std::span<const std::int64_t> s) const;
+
+  /// Number of matching pairs — match_sequence(s).size() without
+  /// materializing the (worst-case |s|·|t|-sized) sequence: O(|s| log |t|).
+  std::int64_t match_count(std::span<const std::int64_t> s) const;
+
+ private:
+  std::map<std::int64_t, std::vector<std::int64_t>> positions_;
+};
+
 /// All matching pairs' j values, ordered by (i asc, j desc).
 std::vector<std::int64_t> hs_match_sequence(std::span<const std::int64_t> s,
                                             std::span<const std::int64_t> t);
+
+/// Number of matching pairs (i, j) with s_i == t_j, without materializing
+/// the match sequence. Always equal to hs_match_sequence(s, t).size().
+std::int64_t hs_match_count(std::span<const std::int64_t> s,
+                            std::span<const std::int64_t> t);
 
 /// Sequential LCS via Hunt–Szymanski (patience on the match sequence).
 std::int64_t lcs_hs(std::span<const std::int64_t> s,

@@ -17,6 +17,10 @@
 //   * SpaceLimitError — a machine exceeded the s-word budget in strict
 //     mode; this is how the fully-scalability claims are *measured*
 //     (mpc/cluster.h).
+//   * OverloadedError — the serving tier refused admission: the request
+//     queue was at its configured depth under the rejecting admission
+//     policy, or the service was shutting down (api/service.h). Retrying
+//     the same request later can succeed — unlike InvalidRequestError.
 //
 // MONGE_CHECK contract violations (programming errors — bad shapes, broken
 // invariants) remain std::logic_error: the taxonomy covers conditions of
@@ -36,10 +40,11 @@ enum class ErrorCode {
   kCodec = 2,           ///< payload cannot be decoded
   kFault = 3,           ///< injected fault unrecoverable
   kSpaceLimit = 4,      ///< strict-mode space budget exceeded
+  kOverloaded = 5,      ///< serving tier refused admission (queue full)
 };
 
 /// @return a stable lowercase name ("invalid-request", "codec", "fault",
-///     "space-limit") for logs and reports.
+///     "space-limit", "overloaded") for logs and reports.
 inline const char* error_code_name(ErrorCode code) {
   switch (code) {
     case ErrorCode::kInvalidRequest:
@@ -50,6 +55,8 @@ inline const char* error_code_name(ErrorCode code) {
       return "fault";
     case ErrorCode::kSpaceLimit:
       return "space-limit";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }
@@ -103,6 +110,15 @@ class FaultError : public Error {
 
  private:
   std::int64_t machine_, round_;
+};
+
+/// The serving tier (api/service.h) refused to admit a request: the
+/// bounded queue was at capacity under AdmissionPolicy::kReject, or the
+/// service had begun shutting down. A retry after load drains can succeed.
+class OverloadedError : public Error {
+ public:
+  explicit OverloadedError(const std::string& what)
+      : Error(ErrorCode::kOverloaded, what) {}
 };
 
 /// Thrown in strict mode when a machine exceeds its space budget; carries

@@ -27,6 +27,16 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
+    tasks_.push(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -3,7 +3,17 @@
 // The MPC simulator uses it to run machine-local computation of one round
 // concurrently, mirroring how a real cluster executes a superstep. The pool
 // is created once per Cluster; parallel_for blocks until every chunk is done
-// (a round is a barrier, exactly like a BSP superstep).
+// (a round is a barrier, exactly like a BSP superstep). The SolverService
+// (api/service.h) posts its long-lived worker loops through post().
+//
+// Shutdown-drain guarantee: the destructor first runs EVERY task queued
+// before destruction began, then joins — queued-but-unstarted work is never
+// silently dropped, so a posted task's promise is always fulfilled. The
+// complementary half of the contract is post()'s stop check: once
+// destruction has begun post() refuses (returns false) instead of
+// enqueuing into a pool whose workers may already have exited, which would
+// strand the task (and any future riding on it) forever. Pinned by
+// ThreadPool.ShutdownDrains* in tests/test_util.cpp.
 #pragma once
 
 #include <condition_variable>
@@ -26,6 +36,16 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues fn for asynchronous execution on some worker and returns
+  /// true. Returns false — WITHOUT enqueuing — once destruction has begun:
+  /// the caller keeps ownership of the work (run it inline or drop it
+  /// knowingly) instead of it vanishing into a dead queue. Every task
+  /// accepted (true) is guaranteed to run: the destructor drains the queue
+  /// before joining. fn must not throw (an escaping exception would
+  /// std::terminate the worker); wrap fallible work in its own try/catch
+  /// or a std::promise.
+  bool post(std::function<void()> fn);
 
   /// Runs fn(i) for i in [0, n); blocks until all iterations complete.
   /// Iterations are chunked to limit scheduling overhead. Exceptions thrown

@@ -43,6 +43,33 @@ TEST(LcsSequential, MatchSequenceOrdering) {
   EXPECT_EQ(seq, (std::vector<std::int64_t>{2, 0, 1}));
 }
 
+TEST(LcsSequential, MatchCountAgreesWithMatchSequenceSize) {
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t ns = rng.next_in(0, 50), nt = rng.next_in(0, 50);
+    std::vector<std::int64_t> s(static_cast<std::size_t>(ns)),
+        t(static_cast<std::size_t>(nt));
+    const std::int64_t sigma = rng.next_in(1, 5);
+    for (auto& x : s) x = rng.next_in(0, sigma);
+    for (auto& x : t) x = rng.next_in(0, sigma);
+    ASSERT_EQ(hs_match_count(s, t),
+              static_cast<std::int64_t>(hs_match_sequence(s, t).size()));
+  }
+}
+
+TEST(LcsSequential, OccurrenceTableReusableAcrossQueries) {
+  Rng rng(19);
+  std::vector<std::int64_t> t(60);
+  for (auto& x : t) x = rng.next_in(0, 4);
+  const HsOccurrences occ(t);  // built once, queried with many patterns
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int64_t> s(static_cast<std::size_t>(rng.next_in(0, 40)));
+    for (auto& x : s) x = rng.next_in(0, 5);
+    ASSERT_EQ(occ.match_sequence(s), hs_match_sequence(s, t));
+    ASSERT_EQ(occ.match_count(s), hs_match_count(s, t));
+  }
+}
+
 TEST(MpcLcs, MatchesDpOracle) {
   Rng rng(23);
   mpc::MpcConfig cfg;

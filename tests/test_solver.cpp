@@ -351,6 +351,57 @@ TEST(SolverLcs, AllBackendsBitIdenticalToDirectCalls) {
   EXPECT_EQ(mpc_res.rounds, direct.rounds);
 }
 
+TEST(SolverLcs, ReferenceAndSequentialReportIdenticalMatches) {
+  // Regression: the Reference route used to materialize the full HS match
+  // sequence just to read .size(); it now uses lcs::hs_match_count, which
+  // must agree exactly with what the Sequential route reports.
+  Rng rng(31);
+  Solver seq_solver;
+  Solver ref_solver({.backend = SolverBackend::kReference});
+  for (int trial = 0; trial < 12; ++trial) {
+    const LcsRequest req{random_sequence(rng.next_in(0, 64), 5, rng),
+                         random_sequence(rng.next_in(0, 64), 5, rng)};
+    const auto seq_res = seq_solver.solve(req);
+    const auto ref_res = ref_solver.solve(req);
+    ASSERT_EQ(ref_res.matches, seq_res.matches) << trial;
+    ASSERT_EQ(ref_res.lcs, seq_res.lcs) << trial;
+  }
+}
+
+TEST(SolverLcs, BatchBitIdenticalToPerRequestSolveAllBackends) {
+  // The Sequential batch fast path groups by (t, s) and shares occurrence
+  // tables and one lis_kernel_batch pass; it must stay bit-identical to
+  // the per-call loop. Duplicates and shared-t requests stress the
+  // grouping; the empty pair stresses the zero-match path.
+  Rng rng(32);
+  const auto shared_t = random_sequence(48, 4, rng);
+  std::vector<LcsRequest> reqs;
+  reqs.push_back({random_sequence(40, 4, rng), shared_t});
+  reqs.push_back({random_sequence(30, 4, rng), shared_t});
+  reqs.push_back(reqs[0]);  // exact duplicate collapses in the batch
+  reqs.push_back({random_sequence(25, 3, rng), random_sequence(31, 3, rng)});
+  reqs.push_back({{}, shared_t});
+  reqs.push_back({random_sequence(10, 2, rng), {}});
+  reqs.push_back({shared_t, shared_t});
+
+  for (const auto backend :
+       {SolverBackend::kSequential, SolverBackend::kMpcSim,
+        SolverBackend::kReference}) {
+    SolverOptions opts;
+    opts.backend = backend;
+    opts.cluster.threads = 1;
+    Solver solver(opts);
+    const auto batch = solver.solve_batch(reqs);
+    ASSERT_EQ(batch.size(), reqs.size());
+    Solver fresh(opts);  // per-call loop on an independent instance
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto single = fresh.solve(reqs[i]);
+      EXPECT_EQ(batch[i].lcs, single.lcs) << i;
+      EXPECT_EQ(batch[i].matches, single.matches) << i;
+    }
+  }
+}
+
 TEST(SolverCluster, LazyProvisioningAndReuse) {
   Rng rng(22);
   Solver solver({.backend = SolverBackend::kMpcSim});

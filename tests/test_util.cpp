@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <latch>
+#include <memory>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "util/fenwick.h"
 #include "util/math.h"
@@ -111,6 +116,63 @@ TEST(ThreadPool, ZeroAndOneIterations) {
   EXPECT_EQ(count, 0);
   pool.parallel_for(1, [&](std::int64_t) { ++count; });
   EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, PostRunsTasksAsynchronously) {
+  ThreadPool pool(2);
+  std::promise<int> p;
+  auto f = p.get_future();
+  ASSERT_TRUE(pool.post([&p] { p.set_value(41 + 1); }));
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWorkAndRefusesLatePosts) {
+  constexpr int kTasks = 16;
+  std::vector<std::future<int>> futs;
+  // -1 = nested task never queued; 0 = post() refused mid-drain (the task
+  // ran inline); 1 = post() accepted (the pool was not yet stopping).
+  std::atomic<int> late_post_accepted{-1};
+  std::latch release(1);
+  std::thread releaser;
+  {
+    ThreadPool pool(2);
+    // Two blockers occupy both workers; everything behind them sits
+    // queued-but-unstarted when the destructor runs.
+    for (int i = 0; i < kTasks; ++i) {
+      auto task = std::make_shared<std::packaged_task<int()>>([i, &release] {
+        if (i < 2) release.wait();
+        return i;
+      });
+      futs.push_back(task->get_future());
+      ASSERT_TRUE(pool.post([task] { (*task)(); }));
+    }
+    // A queued task that posts MORE work mid-drain: post() must either
+    // refuse (pool stopping — run inline) or guarantee the accepted task
+    // still runs before join. Either way the future is fulfilled.
+    auto nested = std::make_shared<std::packaged_task<int()>>([] { return 99; });
+    futs.push_back(nested->get_future());
+    ASSERT_TRUE(pool.post([nested, &pool, &late_post_accepted] {
+      if (pool.post([nested] { (*nested)(); })) {
+        late_post_accepted = 1;
+      } else {
+        late_post_accepted = 0;
+        (*nested)();
+      }
+    }));
+    releaser = std::thread([&release] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      release.count_down();
+    });
+    // ~ThreadPool: must drain all queued tasks — no deadlock, no dropped
+    // futures (the SolverService destructor relies on this contract).
+  }
+  releaser.join();
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(futs[static_cast<std::size_t>(i)].valid());
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i);
+  }
+  EXPECT_EQ(futs.back().get(), 99);
+  EXPECT_NE(late_post_accepted.load(), -1);
 }
 
 TEST(Table, RendersAlignedColumns) {
