@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/mpc_multiply.h"
 #include "monge/permutation.h"
+#include "query/semilocal_index.h"
 
 namespace monge {
 
@@ -78,6 +80,80 @@ struct LcsResult {
   /// must be provisioned for). Filled by every backend.
   std::int64_t matches = 0;
   std::int64_t rounds = 0;  ///< MPC rounds consumed (MpcSim only).
+};
+
+/// Shared reference to an immutable query::SemiLocalIndex — what a
+/// BuildIndexRequest returns and what every query request carries. The
+/// handle IS the lifecycle: the index lives as long as any handle (or any
+/// SolverService cache entry) references it, and queries against a handle
+/// are safe from any thread because the index never mutates. The digest of
+/// a query request keys on id(), which is process-unique and never reused,
+/// so a cached query result can never be served against a different index.
+struct QueryHandle {
+  std::shared_ptr<const query::SemiLocalIndex> index;
+
+  bool valid() const { return index != nullptr; }
+  /// The index's process-unique id; 0 for an empty handle.
+  std::uint64_t id() const { return index ? index->id() : 0; }
+
+  friend bool operator==(const QueryHandle& a, const QueryHandle& b) {
+    return a.index == b.index;
+  }
+};
+
+/// Build a SemiLocalIndex once so arbitrarily many WindowLisQuery /
+/// SubstringLcsQuery batches answer without re-running the seaweed
+/// machinery. The backend chooses which kernel builder runs (all three
+/// produce bit-identical kernels, so the served answers never depend on
+/// the backend).
+struct BuildIndexRequest {
+  enum class Kind {
+    kWindowLis = 0,     ///< index seq for LIS(seq[l..r]) queries.
+    kSubstringLcs = 1,  ///< index (s=seq, t) for LCS(seq[i..j], t) queries.
+  };
+
+  Kind kind = Kind::kWindowLis;
+  std::vector<std::int64_t> seq;  ///< the sequence (s in kSubstringLcs).
+  /// The fixed text t of a kSubstringLcs index; must be empty for
+  /// kWindowLis.
+  std::vector<std::int64_t> t;
+};
+
+struct BuildIndexResult {
+  QueryHandle handle;        ///< the built (or cache-shared) index.
+  std::int64_t n = 0;        ///< indexed length (match count for LCS mode).
+  std::int64_t points = 0;   ///< kernel points retained by the index.
+  /// The full-range answer: LIS(seq), or LCS(seq, t) in kSubstringLcs
+  /// mode — the O(1) special case of the window queries.
+  std::int64_t full = 0;
+  std::int64_t rounds = 0;   ///< MPC rounds consumed (MpcSim only).
+};
+
+/// A batch of window-LIS queries against a kWindowLis index.
+struct WindowLisQuery {
+  QueryHandle handle;
+  /// Inclusive [l, r] windows; l > r is a legitimate empty window
+  /// (answers 0).
+  std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+};
+
+struct WindowLisResult {
+  /// One LIS length per WindowLisQuery::windows entry, in input order.
+  std::vector<std::int64_t> lis;
+};
+
+/// A batch of substring-LCS queries against a kSubstringLcs index.
+struct SubstringLcsQuery {
+  QueryHandle handle;
+  /// Inclusive [i, j] substrings of s; i > j is a legitimate empty
+  /// substring (answers 0).
+  std::vector<std::pair<std::int64_t, std::int64_t>> substrings;
+};
+
+struct SubstringLcsResult {
+  /// One LCS length per SubstringLcsQuery::substrings entry, in input
+  /// order.
+  std::vector<std::int64_t> lcs;
 };
 
 }  // namespace monge

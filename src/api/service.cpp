@@ -82,6 +82,41 @@ RequestDigest request_digest(const LcsRequest& req) {
   return b.digest();
 }
 
+RequestDigest request_digest(const BuildIndexRequest& req) {
+  DigestBuilder b;
+  b.word('B');
+  b.word(static_cast<std::uint64_t>(req.kind));
+  b.words64(req.seq);
+  b.words64(req.t);
+  return b.digest();
+}
+
+RequestDigest request_digest(const WindowLisQuery& req) {
+  DigestBuilder b;
+  b.word('W');
+  // The index id is process-unique and never reused, so the digest can
+  // stand in for the whole indexed payload.
+  b.word(req.handle.id());
+  b.word(static_cast<std::uint64_t>(req.windows.size()));
+  for (const auto& [l, r] : req.windows) {
+    b.word(static_cast<std::uint64_t>(l));
+    b.word(static_cast<std::uint64_t>(r));
+  }
+  return b.digest();
+}
+
+RequestDigest request_digest(const SubstringLcsQuery& req) {
+  DigestBuilder b;
+  b.word('S');
+  b.word(req.handle.id());
+  b.word(static_cast<std::uint64_t>(req.substrings.size()));
+  for (const auto& [i, j] : req.substrings) {
+    b.word(static_cast<std::uint64_t>(i));
+    b.word(static_cast<std::uint64_t>(j));
+  }
+  return b.digest();
+}
+
 // ---------------------------------------------------------------------------
 // Lifecycle.
 // ---------------------------------------------------------------------------
@@ -155,6 +190,21 @@ template <>
 SolverService::Lane<LcsRequest, LcsResult>&
 SolverService::lane<LcsRequest, LcsResult>() {
   return lcs_lane_;
+}
+template <>
+SolverService::Lane<BuildIndexRequest, BuildIndexResult>&
+SolverService::lane<BuildIndexRequest, BuildIndexResult>() {
+  return build_index_lane_;
+}
+template <>
+SolverService::Lane<WindowLisQuery, WindowLisResult>&
+SolverService::lane<WindowLisQuery, WindowLisResult>() {
+  return window_lis_lane_;
+}
+template <>
+SolverService::Lane<SubstringLcsQuery, SubstringLcsResult>&
+SolverService::lane<SubstringLcsQuery, SubstringLcsResult>() {
+  return substring_lcs_lane_;
 }
 
 template <typename Request, typename Result>
@@ -362,6 +412,17 @@ std::future<LisResult> SolverService::submit(LisRequest req) {
 std::future<LcsResult> SolverService::submit(LcsRequest req) {
   return submit_impl<false, LcsRequest, LcsResult>(std::move(req));
 }
+std::future<BuildIndexResult> SolverService::submit(BuildIndexRequest req) {
+  return submit_impl<false, BuildIndexRequest, BuildIndexResult>(
+      std::move(req));
+}
+std::future<WindowLisResult> SolverService::submit(WindowLisQuery req) {
+  return submit_impl<false, WindowLisQuery, WindowLisResult>(std::move(req));
+}
+std::future<SubstringLcsResult> SolverService::submit(SubstringLcsQuery req) {
+  return submit_impl<false, SubstringLcsQuery, SubstringLcsResult>(
+      std::move(req));
+}
 
 Submission<MultiplyResult> SolverService::try_submit(MultiplyRequest req) {
   return submit_impl<true, MultiplyRequest, MultiplyResult>(std::move(req));
@@ -371,6 +432,18 @@ Submission<LisResult> SolverService::try_submit(LisRequest req) {
 }
 Submission<LcsResult> SolverService::try_submit(LcsRequest req) {
   return submit_impl<true, LcsRequest, LcsResult>(std::move(req));
+}
+Submission<BuildIndexResult> SolverService::try_submit(BuildIndexRequest req) {
+  return submit_impl<true, BuildIndexRequest, BuildIndexResult>(
+      std::move(req));
+}
+Submission<WindowLisResult> SolverService::try_submit(WindowLisQuery req) {
+  return submit_impl<true, WindowLisQuery, WindowLisResult>(std::move(req));
+}
+Submission<SubstringLcsResult> SolverService::try_submit(
+    SubstringLcsQuery req) {
+  return submit_impl<true, SubstringLcsQuery, SubstringLcsResult>(
+      std::move(req));
 }
 
 ServiceStats SolverService::stats() const {

@@ -88,6 +88,16 @@ RequestDigest request_digest(const MultiplyRequest& req);
 RequestDigest request_digest(const LisRequest& req);
 /// Digest of an LCS request: both sequences, length-prefixed.
 RequestDigest request_digest(const LcsRequest& req);
+/// Digest of an index build: kind plus both sequences. Identical builds
+/// digest equally, so the service dedups/caches them onto ONE shared
+/// index — the handle lifecycle the query tier documents.
+RequestDigest request_digest(const BuildIndexRequest& req);
+/// Digest of a window-LIS query batch: the index's process-unique id()
+/// (never reused, so a cached answer can never alias a different index)
+/// plus the windows.
+RequestDigest request_digest(const WindowLisQuery& req);
+/// Digest of a substring-LCS query batch: index id() plus the substrings.
+RequestDigest request_digest(const SubstringLcsQuery& req);
 
 /// What submit() does when the bounded queue is at queue_depth.
 enum class AdmissionPolicy {
@@ -182,6 +192,12 @@ class SolverService {
   std::future<LisResult> submit(LisRequest req);
   /// @copydoc submit(MultiplyRequest)
   std::future<LcsResult> submit(LcsRequest req);
+  /// @copydoc submit(MultiplyRequest)
+  std::future<BuildIndexResult> submit(BuildIndexRequest req);
+  /// @copydoc submit(MultiplyRequest)
+  std::future<WindowLisResult> submit(WindowLisQuery req);
+  /// @copydoc submit(MultiplyRequest)
+  std::future<SubstringLcsResult> submit(SubstringLcsQuery req);
 
   /// Asynchronous Solver::try_solve(): never throws for taxonomy errors.
   /// Admission refusals come back synchronously in Submission::admission
@@ -194,6 +210,12 @@ class SolverService {
   Submission<LisResult> try_submit(LisRequest req);
   /// @copydoc try_submit(MultiplyRequest)
   Submission<LcsResult> try_submit(LcsRequest req);
+  /// @copydoc try_submit(MultiplyRequest)
+  Submission<BuildIndexResult> try_submit(BuildIndexRequest req);
+  /// @copydoc try_submit(MultiplyRequest)
+  Submission<WindowLisResult> try_submit(WindowLisQuery req);
+  /// @copydoc try_submit(MultiplyRequest)
+  Submission<SubstringLcsResult> try_submit(SubstringLcsQuery req);
 
   /// A consistent snapshot of the service counters.
   ServiceStats stats() const;
@@ -266,6 +288,13 @@ class SolverService {
   Lane<MultiplyRequest, MultiplyResult> multiply_lane_;
   Lane<LisRequest, LisResult> lis_lane_;
   Lane<LcsRequest, LcsResult> lcs_lane_;
+  /// The query tier's lanes: cached BuildIndexResults keep their handles
+  /// (and through them the shared indexes) alive while hot, so identical
+  /// builds from many clients resolve to ONE index; query batches cache
+  /// like any other result, keyed on (index id, windows).
+  Lane<BuildIndexRequest, BuildIndexResult> build_index_lane_;
+  Lane<WindowLisQuery, WindowLisResult> window_lis_lane_;
+  Lane<SubstringLcsQuery, SubstringLcsResult> substring_lcs_lane_;
   /// Last member: its destructor joins the worker loops, which may touch
   /// every field above while draining.
   std::unique_ptr<ThreadPool> pool_;

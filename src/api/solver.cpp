@@ -464,6 +464,113 @@ std::vector<LcsResult> Solver::solve_batch(std::span<const LcsRequest> reqs) {
   return out;
 }
 
+BuildIndexResult Solver::solve(const BuildIndexRequest& req) {
+  return solve_on(options_.backend, req);
+}
+
+BuildIndexResult Solver::solve_on(SolverBackend backend,
+                                  const BuildIndexRequest& req) {
+  using Kind = BuildIndexRequest::Kind;
+  if (req.kind != Kind::kWindowLis && req.kind != Kind::kSubstringLcs) {
+    throw InvalidRequestError("BuildIndexRequest.kind is not a valid Kind");
+  }
+  if (req.kind == Kind::kWindowLis && !req.t.empty()) {
+    throw InvalidRequestError(
+        "BuildIndexRequest.t must be empty for kWindowLis (use kSubstringLcs "
+        "to index a pair)");
+  }
+
+  BuildIndexResult out;
+  std::shared_ptr<query::SemiLocalIndex> index;
+  switch (backend) {
+    case SolverBackend::kSequential:
+      index = std::make_shared<query::SemiLocalIndex>(
+          req.kind == Kind::kWindowLis
+              ? query::SemiLocalIndex::from_sequence(req.seq, engine_)
+              : query::SemiLocalIndex::from_lcs_pair(req.seq, req.t, engine_));
+      break;
+    case SolverBackend::kReference: {
+      // The depth-first reference kernel builder; bit-identical to the
+      // level-order one (pinned in test_lis.cpp), so the index is too.
+      if (req.kind == Kind::kWindowLis) {
+        const Perm kernel = lis::lis_kernel_reference(
+            lis::rank_reduce_strict(req.seq), engine_);
+        index = std::make_shared<query::SemiLocalIndex>(
+            query::SemiLocalIndex::from_kernel(kernel));
+      } else {
+        const lcs::HsOccurrences occ(req.t);
+        const Perm kernel = lis::lis_kernel_reference(
+            lis::rank_reduce_strict(occ.match_sequence(req.seq)), engine_);
+        index = std::make_shared<query::SemiLocalIndex>(
+            query::SemiLocalIndex::from_lcs_kernel(
+                kernel, occ.match_row_starts(req.seq)));
+      }
+      break;
+    }
+    case SolverBackend::kMpcSim: {
+      // The kernel is built on the cluster (Theorem 1.3); the index
+      // adaptation itself is local and round-free.
+      if (req.kind == Kind::kWindowLis) {
+        mpc::Cluster& cluster = provisioned_cluster(
+            static_cast<std::int64_t>(req.seq.size()));
+        auto res = lis::mpc_lis(cluster, req.seq, mpc_lis_options());
+        out.rounds = res.rounds;
+        index = std::make_shared<query::SemiLocalIndex>(
+            query::SemiLocalIndex::from_kernel(res.kernel));
+      } else {
+        const lcs::HsOccurrences occ(req.t);
+        const auto seq = occ.match_sequence(req.seq);
+        mpc::Cluster& cluster =
+            provisioned_cluster(static_cast<std::int64_t>(seq.size()));
+        auto res = lis::mpc_lis(cluster, seq, mpc_lis_options());
+        out.rounds = res.rounds;
+        index = std::make_shared<query::SemiLocalIndex>(
+            query::SemiLocalIndex::from_lcs_kernel(
+                res.kernel, occ.match_row_starts(req.seq)));
+      }
+      break;
+    }
+  }
+  out.handle.index = std::move(index);
+  out.n = out.handle.index->size();
+  out.points = out.handle.index->point_count();
+  out.full = out.handle.index->full_answer();
+  return out;
+}
+
+WindowLisResult Solver::solve(const WindowLisQuery& req) {
+  return solve_on(options_.backend, req);
+}
+
+WindowLisResult Solver::solve_on(SolverBackend /*backend*/,
+                                 const WindowLisQuery& req) {
+  if (!req.handle.valid()) {
+    throw InvalidRequestError("WindowLisQuery.handle is empty");
+  }
+  if (req.handle.index->lcs_mode()) {
+    throw InvalidRequestError(
+        "WindowLisQuery.handle is a kSubstringLcs index (use "
+        "SubstringLcsQuery)");
+  }
+  return {req.handle.index->window_lis_batch(req.windows)};
+}
+
+SubstringLcsResult Solver::solve(const SubstringLcsQuery& req) {
+  return solve_on(options_.backend, req);
+}
+
+SubstringLcsResult Solver::solve_on(SolverBackend /*backend*/,
+                                    const SubstringLcsQuery& req) {
+  if (!req.handle.valid()) {
+    throw InvalidRequestError("SubstringLcsQuery.handle is empty");
+  }
+  if (!req.handle.index->lcs_mode()) {
+    throw InvalidRequestError(
+        "SubstringLcsQuery.handle is a kWindowLis index (use WindowLisQuery)");
+  }
+  return {req.handle.index->substring_lcs_batch(req.substrings)};
+}
+
 namespace {
 
 /// monge::Error codes map 1:1 onto SolveStatus values.
@@ -560,6 +667,20 @@ TrySolveResult<LisResult> Solver::try_solve(const LisRequest& req) {
 
 TrySolveResult<LcsResult> Solver::try_solve(const LcsRequest& req) {
   return try_solve_impl<LcsResult>(req);
+}
+
+TrySolveResult<BuildIndexResult> Solver::try_solve(
+    const BuildIndexRequest& req) {
+  return try_solve_impl<BuildIndexResult>(req);
+}
+
+TrySolveResult<WindowLisResult> Solver::try_solve(const WindowLisQuery& req) {
+  return try_solve_impl<WindowLisResult>(req);
+}
+
+TrySolveResult<SubstringLcsResult> Solver::try_solve(
+    const SubstringLcsQuery& req) {
+  return try_solve_impl<SubstringLcsResult>(req);
 }
 
 }  // namespace monge

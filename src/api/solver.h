@@ -22,6 +22,10 @@
 // | Lis windows        | kernel + kernel_window_lis_batch | mpc_lis kernel + same          | lis::lis_window_batch       |
 // | Lis batch (kernel) | lis::lis_kernel_batch          | per-request mpc_lis              | per-request reference       |
 // | Lcs                | lcs::lcs_hs                    | lcs::mpc_lcs                     | lcs::lcs_dp                 |
+// | BuildIndex         | SemiLocalIndex over lis_kernel | SemiLocalIndex over mpc_lis      | SemiLocalIndex over         |
+// |                    |                                | kernel (rounds reported)         | lis_kernel_reference        |
+// | WindowLis /        | pure index lookups — backend-independent by construction (the index already holds the       |
+// | SubstringLcs query | semi-local distribution; no engine or cluster work on any backend)                          |
 //
 // Batching contract: a Sequential solve_batch costs exactly one batched
 // engine call per request kind — MultiplyRequest batches group into at
@@ -198,6 +202,25 @@ class Solver {
   /// LCS of req.s and req.t via the Hunt–Szymanski match sequence.
   LcsResult solve(const LcsRequest& req);
 
+  /// Builds a query::SemiLocalIndex once (Sequential: lis_kernel on the
+  /// owned engine; Reference: lis_kernel_reference; MpcSim: the
+  /// lis::mpc_lis kernel, rounds reported) and returns it as a shared
+  /// QueryHandle. All backends produce bit-identical indexes. The handle
+  /// is self-owning — no Solver state outlives the call, so handles work
+  /// across Solver instances and service workers.
+  BuildIndexResult solve(const BuildIndexRequest& req);
+
+  /// Answers req.windows against req.handle's index in O(log² n) each —
+  /// no engine work on any backend (the index already holds the semi-local
+  /// distribution). Throws InvalidRequestError on an empty handle or a
+  /// kSubstringLcs-mode index.
+  WindowLisResult solve(const WindowLisQuery& req);
+
+  /// Answers req.substrings against req.handle's kSubstringLcs index.
+  /// Throws InvalidRequestError on an empty handle or a kWindowLis-mode
+  /// index.
+  SubstringLcsResult solve(const SubstringLcsQuery& req);
+
   /// Batched products, results in request order. Sequential: at most one
   /// batched engine call per request kind (one arena sizing each, striped
   /// across the pool when configured). MpcSim: one *_batch cluster call
@@ -234,6 +257,12 @@ class Solver {
   TrySolveResult<LisResult> try_solve(const LisRequest& req);
   /// @copydoc try_solve(const MultiplyRequest&)
   TrySolveResult<LcsResult> try_solve(const LcsRequest& req);
+  /// @copydoc try_solve(const MultiplyRequest&)
+  TrySolveResult<BuildIndexResult> try_solve(const BuildIndexRequest& req);
+  /// @copydoc try_solve(const MultiplyRequest&)
+  TrySolveResult<WindowLisResult> try_solve(const WindowLisQuery& req);
+  /// @copydoc try_solve(const MultiplyRequest&)
+  TrySolveResult<SubstringLcsResult> try_solve(const SubstringLcsQuery& req);
 
   /// @return the options, exactly as validated at construction.
   const SolverOptions& options() const { return options_; }
@@ -257,6 +286,11 @@ class Solver {
   MultiplyResult solve_on(SolverBackend backend, const MultiplyRequest& req);
   LisResult solve_on(SolverBackend backend, const LisRequest& req);
   LcsResult solve_on(SolverBackend backend, const LcsRequest& req);
+  BuildIndexResult solve_on(SolverBackend backend,
+                            const BuildIndexRequest& req);
+  WindowLisResult solve_on(SolverBackend backend, const WindowLisQuery& req);
+  SubstringLcsResult solve_on(SolverBackend backend,
+                              const SubstringLcsQuery& req);
 
   /// Shared try_solve machinery: run on options().backend, classify any
   /// escape into a SolveStatus, degrade MpcSim fault/space failures to

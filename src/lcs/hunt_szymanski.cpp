@@ -38,6 +38,21 @@ std::int64_t HsOccurrences::match_count(
   return count;
 }
 
+std::vector<std::int64_t> HsOccurrences::match_row_starts(
+    std::span<const std::int64_t> s) const {
+  std::vector<std::int64_t> starts;
+  starts.reserve(s.size() + 1);
+  starts.push_back(0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto it = positions_.find(s[i]);
+    const std::int64_t run =
+        it == positions_.end() ? 0
+                               : static_cast<std::int64_t>(it->second.size());
+    starts.push_back(starts.back() + run);
+  }
+  return starts;
+}
+
 std::vector<std::int64_t> hs_match_sequence(std::span<const std::int64_t> s,
                                             std::span<const std::int64_t> t) {
   return HsOccurrences(t).match_sequence(s);

@@ -31,6 +31,16 @@ class HsOccurrences {
   /// materializing the (worst-case |s|·|t|-sized) sequence: O(|s| log |t|).
   std::int64_t match_count(std::span<const std::int64_t> s) const;
 
+  /// Offsets of each s-row's match run inside match_sequence(s): entry i is
+  /// the number of matches contributed by s[0..i), so row i's matches
+  /// occupy [starts[i], starts[i+1]) — size |s| + 1, last entry the total
+  /// match count. Because the sequence is ordered (i asc, j desc), the
+  /// matches of any s-substring s[i..j] are exactly the CONTIGUOUS window
+  /// [starts[i], starts[j+1]) — the mapping query/semilocal_index.h uses to
+  /// turn substring-LCS into window-LIS over the match sequence.
+  std::vector<std::int64_t> match_row_starts(
+      std::span<const std::int64_t> s) const;
+
  private:
   std::map<std::int64_t, std::vector<std::int64_t>> positions_;
 };

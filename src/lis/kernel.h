@@ -107,7 +107,10 @@ std::int64_t kernel_window_lis(const Perm& kernel, std::int64_t l,
                                std::int64_t r);
 
 /// Offline batch of window queries in O((n + q) log n) via dominance
-/// counting (Fenwick sweep).
+/// counting (Fenwick sweep). The whole batch must be known up front; for
+/// ONLINE serving — queries arriving one at a time against a sequence
+/// indexed once — query::SemiLocalIndex (src/query/semilocal_index.h)
+/// answers each window in O(log² n) from a persisted kernel instead.
 ///
 /// @param kernel a kernel built by lis_kernel / lis_kernel_batch.
 /// @param windows (l, r) inclusive windows; empty (l > r) windows answer 0.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "monge/permutation.h"
+#include "util/check.h"
 
 namespace monge {
 
@@ -25,10 +26,17 @@ class DistMatrix {
   std::int64_t rows() const { return rows_; }  // matrix is (rows+1)x(cols+1)
   std::int64_t cols() const { return cols_; }
 
+  /// PΣ(i,j); valid for i in [0, rows()] and j in [0, cols()] (the matrix
+  /// is (rows+1)×(cols+1)). Bounds are MONGE_DCHECK'd: out-of-range access
+  /// throws in debug builds and is undefined in release — the oracles'
+  /// nested loops stay assertion-free on the Release hot path, matching
+  /// the engine's hot-loop convention.
   std::int64_t at(std::int64_t i, std::int64_t j) const {
+    MONGE_DCHECK(i >= 0 && i <= rows_ && j >= 0 && j <= cols_);
     return data_[static_cast<std::size_t>(i * (cols_ + 1) + j)];
   }
   std::int64_t& at(std::int64_t i, std::int64_t j) {
+    MONGE_DCHECK(i >= 0 && i <= rows_ && j >= 0 && j <= cols_);
     return data_[static_cast<std::size_t>(i * (cols_ + 1) + j)];
   }
 

@@ -79,6 +79,76 @@ TEST(DistMatrix, MinPlusDimensionCheck) {
   EXPECT_THROW(a.minplus(b), std::logic_error);
 }
 
+TEST(DistMatrix, ToPermRejectsNonUnitDensity) {
+  // The density at (r,c) must be 0 or 1; a jump of 2 is not a
+  // distribution matrix of any sub-permutation.
+  DistMatrix m(1, 1);
+  m.at(0, 1) = 2;
+  EXPECT_THROW(m.to_perm(), std::logic_error);
+  // A negative density is just as invalid.
+  DistMatrix neg(1, 1);
+  neg.at(0, 1) = -1;
+  EXPECT_THROW(neg.to_perm(), std::logic_error);
+}
+
+TEST(DistMatrix, ToPermRejectsTwoPointsInOneRow) {
+  // Unit densities at (0,0) AND (0,1): each delta is a legal 1, but a
+  // (sub-)permutation has at most one point per row.
+  DistMatrix m(1, 2);
+  m.at(0, 1) = 1;
+  m.at(0, 2) = 2;
+  EXPECT_THROW(m.to_perm(), std::logic_error);
+}
+
+TEST(DistMatrix, IsMongeDetectsViolation) {
+  // at(0,0) + at(1,1) > at(0,1) + at(1,0) fails the Monge condition.
+  DistMatrix m(1, 1);
+  m.at(0, 0) = 1;
+  EXPECT_FALSE(m.is_monge());
+}
+
+TEST(DistMatrix, DirectEvaluationEquivalenceFuzz) {
+  // dist_at (O(points), matrix-free) must agree with the materialised
+  // DistMatrix::from everywhere, across shapes: square/rectangular,
+  // sparse/empty/full.
+  Rng rng(29);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::int64_t rows = rng.next_in(0, 12);
+    const std::int64_t cols = rng.next_in(0, 12);
+    const std::int64_t k = rng.next_in(0, std::min(rows, cols));
+    const Perm p = Perm::random_sub(rows, cols, k, rng);
+    const DistMatrix m = DistMatrix::from(p);
+    for (std::int64_t i = 0; i <= rows; ++i) {
+      for (std::int64_t j = 0; j <= cols; ++j) {
+        ASSERT_EQ(m.at(i, j), dist_at(p, i, j))
+            << rows << "x" << cols << " k=" << k << " (" << i << "," << j
+            << ")";
+      }
+    }
+  }
+  // dist_at validates its own bounds (always-on MONGE_CHECK).
+  const Perm p = Perm::identity(4);
+  EXPECT_THROW(dist_at(p, -1, 0), std::logic_error);
+  EXPECT_THROW(dist_at(p, 0, 5), std::logic_error);
+}
+
+TEST(DistMatrix, AtBoundsAreDebugChecked) {
+  const DistMatrix m = DistMatrix::from(Perm::identity(3));
+  // The closed upper corners are IN range: the matrix is (rows+1)x(cols+1).
+  EXPECT_EQ(m.at(3, 3), 0);
+  EXPECT_EQ(m.at(0, 3), 3);
+#ifndef NDEBUG
+  // Out-of-range access throws under MONGE_DCHECK in debug builds (it is
+  // compiled out in release, where access is undefined).
+  EXPECT_THROW(m.at(-1, 0), std::logic_error);
+  EXPECT_THROW(m.at(0, -1), std::logic_error);
+  EXPECT_THROW(m.at(4, 0), std::logic_error);
+  EXPECT_THROW(m.at(0, 4), std::logic_error);
+  DistMatrix mut(2, 2);
+  EXPECT_THROW(mut.at(3, 0) = 1, std::logic_error);
+#endif
+}
+
 TEST(NaiveMultiply, IdentityIsNeutral) {
   Rng rng(7);
   const Perm p = Perm::random(12, rng);
