@@ -5,7 +5,10 @@
 // the monge::Solver facade dispatch overhead vs the direct engine call.
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+
 #include "api/solver.h"
+#include "monge/core_sparse.h"
 #include "monge/distribution.h"
 #include "monge/engine.h"
 #include "monge/seaweed.h"
@@ -339,6 +342,55 @@ void BM_SolverDispatchDirect(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_SolverDispatchDirect)->Range(1 << 8, 1 << 14)->Complexity();
+
+// ---------------------------------------------------------------------------
+// The representation layer: density-adaptive dispatch vs the dense-only
+// oracle across a similarity sweep. Inputs are identity permutations with
+// ~n/d rows shuffled inside 64-wide windows (d = 64 → core ratio ~1/64,
+// near-identical traffic) down to d = 1 (fully random, the dense regime
+// the probe must bail out of cheaply). Arg pair: (d, adaptive 0/1); both
+// variants produce bit-identical outputs, the delta is pure dispatch win
+// (sparse inputs) or pure probe overhead (dense inputs). Single-CPU dev
+// box: compare medians from interleaved repetitions (see README).
+// ---------------------------------------------------------------------------
+
+std::vector<std::int32_t> core_ratio_perm(std::int64_t n, std::int64_t denom,
+                                          Rng& rng) {
+  if (denom == 1) return rng.permutation(n);
+  std::vector<std::int32_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), std::int32_t{0});
+  const std::int64_t width = 64;
+  const std::int64_t windows = std::max<std::int64_t>(1, n / denom / width);
+  for (std::int64_t w = 0; w < windows; ++w) {
+    const auto start =
+        static_cast<std::int64_t>(rng.next_below(n - width + 1));
+    for (std::int64_t i = width - 1; i > 0; --i) {
+      std::swap(p[static_cast<std::size_t>(start + i)],
+                p[static_cast<std::size_t>(
+                    start + static_cast<std::int64_t>(rng.next_below(i + 1)))]);
+    }
+  }
+  return p;
+}
+
+void BM_CoreSparseVsDense(benchmark::State& state) {
+  const std::int64_t n = 1 << 14;
+  const std::int64_t denom = state.range(0);
+  const bool adaptive = state.range(1) != 0;
+  Rng rng(7);
+  const auto a = core_ratio_perm(n, denom, rng);
+  const auto b = core_ratio_perm(n, denom, rng);
+  SeaweedEngine engine({.core_density_cutoff = adaptive ? 0.25 : 0.0});
+  std::vector<std::int32_t> out(a.size());
+  for (auto _ : state) {
+    engine.multiply_into(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["core_density_a"] =
+      static_cast<double>(core_size_of(a)) / static_cast<double>(n);
+}
+BENCHMARK(BM_CoreSparseVsDense)
+    ->ArgsProduct({{64, 16, 8, 4, 1}, {0, 1}});
 
 void BM_NaiveMultiply(benchmark::State& state) {
   const std::int64_t n = state.range(0);

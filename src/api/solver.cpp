@@ -117,6 +117,10 @@ Solver::Solver(SolverOptions options)
   require(options_.lis_leaf_classes >= 0,
           "SolverOptions.lis_leaf_classes must be >= 0 (0 = number of "
           "machines)");
+  require(options_.lcs_engine_match_limit >= 1 &&
+              options_.lcs_engine_match_limit <= kSeaweedEngineMaxN,
+          "SolverOptions.lcs_engine_match_limit must be in [1, 2^30], got " +
+              std::to_string(options_.lcs_engine_match_limit));
 }
 
 mpc::Cluster& Solver::provisioned_cluster(std::int64_t n) {
@@ -392,6 +396,16 @@ LcsResult Solver::solve_on(SolverBackend backend, const LcsRequest& req) {
       // m = n^{1+δ} regime) — the match sequence is the LIS input, so it
       // is generated once and handed through.
       const auto seq = lcs::hs_match_sequence(req.s, req.t);
+      if (static_cast<std::int64_t>(seq.size()) >
+          options_.lcs_engine_match_limit) {
+        // Same guard as the Sequential batch grouping: past the limit the
+        // cluster's leaf engines would reject the kernel, so patience
+        // answers directly (bit-identical; rounds stays 0 — no cluster
+        // work happened).
+        out.matches = static_cast<std::int64_t>(seq.size());
+        out.lcs = lis::lis_length(seq);
+        break;
+      }
       mpc::Cluster& cluster =
           provisioned_cluster(static_cast<std::int64_t>(seq.size()));
       const auto res =
@@ -443,7 +457,7 @@ std::vector<LcsResult> Solver::solve_batch(std::span<const LcsRequest> reqs) {
     for (std::size_t k = g; k < h; ++k) out[order[k]].matches = matches;
     if (seq.empty()) {
       // No matches: LCS is 0, no LIS subproblem to schedule.
-    } else if (matches > kSeaweedEngineMaxN) {
+    } else if (matches > options_.lcs_engine_match_limit) {
       // Too large for one engine kernel; patience answers the group once.
       const std::int64_t lcs_len = lis::lis_length(seq);
       for (std::size_t k = g; k < h; ++k) out[order[k]].lcs = lcs_len;
@@ -609,12 +623,19 @@ TrySolveResult<Result> Solver::try_solve_impl(const Request& req) {
     const mpc::RecoveryStats now = cluster_->stats().recovery;
     return cluster_.get() == before_cluster ? now - before : now;
   };
+  // The owned engine outlives every request, so its representation
+  // counters delta is a plain subtraction.
+  const RepresentationStats rep_before = engine_.representation_stats();
+  const auto representation_delta = [&]() {
+    return engine_.representation_stats() - rep_before;
+  };
 
   SolveStatus status = SolveStatus::kOk;
   std::string message;
   try {
     out.value = solve_on(options_.backend, req);
     out.report.recovery = recovery_delta();
+    out.report.representation = representation_delta();
     return out;
   } catch (const Error& e) {
     status = status_of(e);
@@ -630,6 +651,7 @@ TrySolveResult<Result> Solver::try_solve_impl(const Request& req) {
   out.report.status = status;
   out.report.message = message;
   out.report.recovery = recovery_delta();
+  out.report.representation = representation_delta();
 
   // Graceful degradation: an MpcSim run killed by an unrecoverable fault
   // or a space overrun falls back to the Sequential backend. The failed
@@ -645,6 +667,7 @@ TrySolveResult<Result> Solver::try_solve_impl(const Request& req) {
     out.value = solve_on(SolverBackend::kSequential, req);
     out.report.status = SolveStatus::kOk;
     out.report.backend = SolverBackend::kSequential;
+    out.report.representation = representation_delta();
     out.report.degraded = true;
     out.report.message = std::string("MpcSim failed (") +
                          solve_status_name(status) + "): " + message +

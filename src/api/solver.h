@@ -36,6 +36,16 @@
 // The MpcSim backend routes multiply batches through the *_batch cluster
 // entry points, so all pairs of a batch share every round.
 //
+// LCS match-count guard: every route that would hand a Hunt–Szymanski
+// match sequence to the seaweed machinery (the Sequential batch grouping's
+// kernels, the MpcSim cluster solve) first checks the match count against
+// SolverOptions::lcs_engine_match_limit and falls back to patience sorting
+// on the match sequence above it — bit-identical results (lcs_hs IS
+// patience over the matches), no engine size-guard throw. The
+// single-request Sequential route always uses patience directly, so it is
+// immune by construction; single and batch solves therefore agree for
+// every match count.
+//
 // Backend resources: the Solver owns one SeaweedEngine (arena reused
 // across requests) and, for the MpcSim backend, one lazily constructed
 // mpc::Cluster. The cluster is provisioned on first use — either from the
@@ -129,6 +139,12 @@ struct SolveReport {
   /// (checkpoints, re-executed rounds, masked message faults) — a
   /// per-request delta, zeros for non-MpcSim backends.
   mpc::RecoveryStats recovery{};
+  /// Representation decisions this request caused on the Solver-owned
+  /// engine (dense vs. core-sparse nodes, block outcomes) — a per-request
+  /// delta of SeaweedEngine::representation_stats(). Zeros for routes that
+  /// never touch the owned engine (patience/DP oracles, the MpcSim
+  /// cluster's per-worker engines, index lookups).
+  RepresentationStats representation{};
 
   bool ok() const { return status == SolveStatus::kOk; }
 };
@@ -177,6 +193,16 @@ struct SolverOptions {
   /// lis::MpcLisOptions::leaf_classes for the MpcSim LIS driver
   /// (0 = number of machines). Must be >= 0.
   std::int64_t lis_leaf_classes = 0;
+
+  /// Largest Hunt–Szymanski match count an LCS solve hands to the seaweed
+  /// machinery; groups/requests above it are answered by patience sorting
+  /// on the match sequence instead (identical results — lcs_hs IS patience
+  /// over the matches). Applies uniformly to the Sequential batch grouping
+  /// AND the single-request MpcSim route, which would otherwise throw from
+  /// the engine's size guard instead of degrading. Must be in
+  /// [1, kSeaweedEngineMaxN] (the default; the engine cannot accept more).
+  /// Lower it in tests to exercise the fallback at practical sizes.
+  std::int64_t lcs_engine_match_limit = kSeaweedEngineMaxN;
 };
 
 class Solver {

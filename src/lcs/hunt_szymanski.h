@@ -4,6 +4,13 @@
 // common subsequences of S and T correspond exactly to strictly increasing
 // subsequences of the j-sequence. Requires Θ̃(#matches) total space — the
 // paper's m = n^{1+δ} regime; for small alphabets #matches ≈ n²/σ.
+//
+// Representation note: when the match sequence feeds the seaweed-kernel
+// route (Solver LCS on the engine/cluster paths), high-similarity S/T
+// pairs yield nearly sorted match sequences and therefore near-identity
+// kernel merges — the engine's density-adaptive dispatch
+// (monge/core_sparse.h) picks those up automatically; nothing in this
+// layer changes.
 #pragma once
 
 #include <cstdint>

@@ -21,6 +21,14 @@
 // configured. lis_kernel_reference keeps the pre-batching depth-first
 // recursion (one engine call per merge) as the differential-fuzz reference
 // and per-merge benchmark baseline.
+//
+// Representation note: the merge products run through the engine's
+// density-adaptive dispatch (monge/core_sparse.h) with no code here —
+// nearly sorted inputs produce near-identity kernels at every level, so
+// the clean-boundary block decomposition turns their merges into copies
+// plus small dense blocks. SolveReport.representation (or
+// SeaweedEngine::representation_stats deltas, surfaced per trace by
+// tools/core_stats --kernel) shows how much of a workload it absorbs.
 #pragma once
 
 #include <cstdint>

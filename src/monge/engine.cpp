@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "monge/core_sparse.h"
 #include "monge/steady_ant_simd.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -104,9 +105,18 @@ struct Plan {
   std::int64_t grain;
   ThreadPool* pool;
   std::map<std::int64_t, std::size_t>& sizes;
+  double core_cutoff;
+  std::int64_t core_min_n;
+  detail::SeaweedRepCounters* rep;
 
   bool fork(std::int64_t n) const {
     return pool != nullptr && pool->thread_count() > 1 && n > grain;
+  }
+
+  /// Whether a size-n node runs the core-density probe (solve_adaptive).
+  /// Upward-closed in n, which keeps node_bytes monotone.
+  bool probe(std::int64_t n) const {
+    return core_cutoff > 0 && n >= core_min_n && n > cutoff;
   }
 
   std::size_t node_bytes(std::int64_t n) {
@@ -118,9 +128,16 @@ struct Plan {
     const std::size_t children = fork(n)
                                      ? node_bytes(m) + node_bytes(h)
                                      : std::max(node_bytes(m), node_bytes(h));
-    const std::size_t total =
+    const std::size_t dense =
         persistent_bytes(m, h) +
         std::max({split_scratch_bytes(n), combine_scratch_bytes(n), children});
+    // Probed nodes may take the block path, whose worst dense block of size
+    // B < n needs two shifted input copies plus that block's own dense
+    // frame: 2·slot(B) + dense(B) <= 2·slot(n) + dense(n) (both summands
+    // are monotone in the size), so inflating by two size-n slots covers
+    // every decomposition the data can produce.
+    const std::size_t total =
+        probe(n) ? dense + 2 * slot_bytes<std::int32_t>(n) : dense;
     sizes.emplace(n, total);
     return total;
   }
@@ -203,10 +220,18 @@ void base_case(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
 // The recursion.
 // ---------------------------------------------------------------------------
 
-/// The recursion. `out` receives the product; it may alias `a` (all reads
-/// of `a` happen in the split phase, all writes to `out` in the combine) —
-/// the recursive calls exploit this by writing each child's result over
-/// that child's input, so no separate result buffers exist.
+/// Density-adaptive dispatch wrapper around mul_rec: probes the node when
+/// the plan says to and routes it to the core-sparse block path or the
+/// dense recursion. Same contract as mul_rec (out may alias a).
+void solve_adaptive(std::span<const std::int32_t> a,
+                    std::span<const std::int32_t> b,
+                    std::span<std::int32_t> out, Arena& arena,
+                    const Plan& plan);
+
+/// The dense recursion. `out` receives the product; it may alias `a` (all
+/// reads of `a` happen in the split phase, all writes to `out` in the
+/// combine) — the recursive calls exploit this by writing each child's
+/// result over that child's input, so no separate result buffers exist.
 void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
              std::span<std::int32_t> out, Arena& arena, const Plan& plan) {
   const auto n = static_cast<std::int64_t>(a.size());
@@ -293,12 +318,12 @@ void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
     Arena lo_arena = arena.carve(plan.node_bytes_cached(m));
     Arena hi_arena = arena.carve(plan.node_bytes_cached(h));
     plan.pool->invoke_two(
-        [&] { mul_rec(a_lo, b_lo, a_lo, lo_arena, plan); },
-        [&] { mul_rec(a_hi, b_hi, a_hi, hi_arena, plan); });
+        [&] { solve_adaptive(a_lo, b_lo, a_lo, lo_arena, plan); },
+        [&] { solve_adaptive(a_hi, b_hi, a_hi, hi_arena, plan); });
     arena.rewind(mark);
   } else {
-    mul_rec(a_lo, b_lo, a_lo, arena, plan);
-    mul_rec(a_hi, b_hi, a_hi, arena, plan);
+    solve_adaptive(a_lo, b_lo, a_lo, arena, plan);
+    solve_adaptive(a_hi, b_hi, a_hi, arena, plan);
   }
 
   // Expand both results back to the n×n grid (a full colored permutation,
@@ -325,6 +350,103 @@ void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
     arena.rewind(scratch);
   }
   arena.rewind(frame);
+}
+
+/// The streaming form of the core-sparse block decomposition (the
+/// representation-level version lives in src/monge/core_sparse.h): one
+/// forward pass tracks the running maximum of both inputs' values; at
+/// index i, mx == i means the boundary after i is clean for BOTH inputs —
+/// the seaweed braid never crosses it — closing an independent diagonal
+/// block. Blocks where one input restricts to the identity are copied
+/// verbatim (id ⊡ X = X ⊡ id = X); blocks where both cores interact
+/// recurse densely on shifted arena copies. Returns false without writing
+/// anything when no interior boundary is clean (the node is one
+/// indivisible block and the caller's dense recursion is the right tool).
+///
+/// `out` may alias `a`, like mul_rec: at index i every read of a[i]/b[i]
+/// (the mx/fixed scan, the shifted copies) happens before any write to
+/// out[j <= i], and indices past i are untouched until the cursor gets
+/// there.
+bool core_block_solve(std::span<const std::int32_t> a,
+                      std::span<const std::int32_t> b,
+                      std::span<std::int32_t> out, Arena& arena,
+                      const Plan& plan) {
+  const auto n = static_cast<std::int64_t>(a.size());
+  std::int64_t start = 0;
+  std::int64_t fixed_a = 0;
+  std::int64_t fixed_b = 0;
+  std::int64_t blocks_dense = 0;
+  std::int64_t blocks_copied = 0;
+  std::int32_t mx = -1;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t av = a[static_cast<std::size_t>(i)];
+    const std::int32_t bv = b[static_cast<std::size_t>(i)];
+    mx = std::max({mx, av, bv});
+    fixed_a += av == i;
+    fixed_b += bv == i;
+    if (mx != static_cast<std::int32_t>(i)) continue;
+    const std::int64_t size = i + 1 - start;
+    if (size == n) return false;  // one whole-range block: stay dense
+    if (fixed_b == size) {
+      // B is the identity on [start, i]: the product block is A's block
+      // (which is also the identity when fixed_a == size).
+      std::copy(a.begin() + start, a.begin() + (i + 1), out.begin() + start);
+      ++blocks_copied;
+    } else if (fixed_a == size) {
+      std::copy(b.begin() + start, b.begin() + (i + 1), out.begin() + start);
+      ++blocks_copied;
+    } else {
+      // Both cores interact: solve the block densely over copies shifted
+      // to [0, size) — mul_rec, not solve_adaptive, because this block
+      // provably has no clean boundary to probe for.
+      const std::size_t mark = arena.mark();
+      auto sa = arena.alloc<std::int32_t>(size);
+      auto sb = arena.alloc<std::int32_t>(size);
+      for (std::int64_t j = 0; j < size; ++j) {
+        sa[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(
+            a[static_cast<std::size_t>(start + j)] - start);
+        sb[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(
+            b[static_cast<std::size_t>(start + j)] - start);
+      }
+      const auto block_out =
+          out.subspan(static_cast<std::size_t>(start),
+                      static_cast<std::size_t>(size));
+      mul_rec(sa, sb, block_out, arena, plan);
+      for (std::int64_t j = 0; j < size; ++j) {
+        block_out[static_cast<std::size_t>(j)] +=
+            static_cast<std::int32_t>(start);
+      }
+      arena.rewind(mark);
+      ++blocks_dense;
+    }
+    start = i + 1;
+    fixed_a = 0;
+    fixed_b = 0;
+  }
+  plan.rep->blocks_dense.fetch_add(blocks_dense, std::memory_order_relaxed);
+  plan.rep->blocks_copied.fetch_add(blocks_copied, std::memory_order_relaxed);
+  return true;
+}
+
+void solve_adaptive(std::span<const std::int32_t> a,
+                    std::span<const std::int32_t> b,
+                    std::span<std::int32_t> out, Arena& arena,
+                    const Plan& plan) {
+  const auto n = static_cast<std::int64_t>(a.size());
+  if (plan.probe(n)) {
+    // Both inputs must be at or below the density cutoff for the block
+    // path to be worth trying; the early-exit scan keeps the probe cost
+    // O(cutoff·n) on dense inputs.
+    const auto limit = static_cast<std::int64_t>(
+        plan.core_cutoff * static_cast<double>(n));
+    if (!core_exceeds(a, limit) && !core_exceeds(b, limit) &&
+        core_block_solve(a, b, out, arena, plan)) {
+      plan.rep->core_sparse_nodes.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    plan.rep->dense_nodes.fetch_add(1, std::memory_order_relaxed);
+  }
+  mul_rec(a, b, out, arena, plan);
 }
 
 #ifndef NDEBUG
@@ -518,8 +640,9 @@ void subunit_solve(PermView a, PermView b, std::int64_t b_cols,
   MONGE_CHECK(appended == n2 - n3);
   arena.rewind(scratch);
 
-  // Core solve; the result overwrites P'A (mul_rec's out may alias a).
-  mul_rec(pa, pb, pa, arena, plan);
+  // Core solve; the result overwrites P'A (the out-aliases-a contract,
+  // which the adaptive dispatch and the block path both honor).
+  solve_adaptive(pa, pb, pa, arena, plan);
 
   // Read PC out of the bottom-left n1×n3 block.
   const std::int64_t shift = n2 - n1;
@@ -555,11 +678,31 @@ SeaweedEngine::SeaweedEngine(SeaweedEngineOptions options)
   MONGE_CHECK_MSG(options_.parallel_grain >= 2,
                   "SeaweedEngineOptions::parallel_grain must be >= 2, got "
                       << options_.parallel_grain);
+  // The comparison is written so NaN fails it (NaN >= 0.0 is false).
+  MONGE_CHECK_MSG(options_.core_density_cutoff >= 0.0 &&
+                      options_.core_density_cutoff <= 1.0,
+                  "SeaweedEngineOptions::core_density_cutoff must be in "
+                  "[0, 1], got "
+                      << options_.core_density_cutoff);
+  MONGE_CHECK_MSG(options_.core_probe_min_n >= 2,
+                  "SeaweedEngineOptions::core_probe_min_n must be >= 2, got "
+                      << options_.core_probe_min_n);
+}
+
+RepresentationStats SeaweedEngine::representation_stats() const {
+  return {
+      rep_counters_.dense_nodes.load(std::memory_order_relaxed),
+      rep_counters_.core_sparse_nodes.load(std::memory_order_relaxed),
+      rep_counters_.blocks_dense.load(std::memory_order_relaxed),
+      rep_counters_.blocks_copied.load(std::memory_order_relaxed),
+  };
 }
 
 std::size_t SeaweedEngine::arena_bytes_for(std::int64_t n) const {
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
+  Plan plan{options_.base_case_cutoff,    options_.parallel_grain,
+            options_.pool,               size_cache_,
+            options_.core_density_cutoff, options_.core_probe_min_n,
+            &rep_counters_};
   return plan.node_bytes(n);
 }
 
@@ -590,11 +733,13 @@ void SeaweedEngine::multiply_into(std::span<const std::int32_t> a,
     out[0] = 0;
     return;
   }
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
+  Plan plan{options_.base_case_cutoff,    options_.parallel_grain,
+            options_.pool,               size_cache_,
+            options_.core_density_cutoff, options_.core_probe_min_n,
+            &rep_counters_};
   const auto span = arena_span(plan.node_bytes(n));
   Arena arena(span.data(), span.size());
-  mul_rec(a, b, out, arena, plan);
+  solve_adaptive(a, b, out, arena, plan);
 }
 
 void SeaweedEngine::multiply_batch_into(
@@ -602,8 +747,10 @@ void SeaweedEngine::multiply_batch_into(
     std::span<const std::span<std::int32_t>> outs) {
   MONGE_CHECK(pairs.size() == outs.size());
   if (pairs.empty()) return;
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
+  Plan plan{options_.base_case_cutoff,    options_.parallel_grain,
+            options_.pool,               size_cache_,
+            options_.core_density_cutoff, options_.core_probe_min_n,
+            &rep_counters_};
   solve_batch(
       pairs.size(), plan, [this](std::size_t bytes) { return arena_span(bytes); },
       [&](std::size_t i) {
@@ -617,7 +764,7 @@ void SeaweedEngine::multiply_batch_into(
         return plan.node_bytes(static_cast<std::int64_t>(pairs[i].first.size()));
       },
       [&](std::size_t i, Arena& arena) {
-        mul_rec(pairs[i].first, pairs[i].second, outs[i], arena, plan);
+        solve_adaptive(pairs[i].first, pairs[i].second, outs[i], arena, plan);
       });
 }
 
@@ -634,8 +781,10 @@ void SeaweedEngine::subunit_multiply_into(PermView a, PermView b,
                                           std::int64_t b_cols,
                                           std::span<std::int32_t> out) {
   check_subunit_shapes(a, b, b_cols, out);
-  Plan plan{options_.base_case_cutoff, options_.parallel_grain, options_.pool,
-            size_cache_};
+  Plan plan{options_.base_case_cutoff,    options_.parallel_grain,
+            options_.pool,               size_cache_,
+            options_.core_density_cutoff, options_.core_probe_min_n,
+            &rep_counters_};
   const auto span = arena_span(
       subunit_node_bytes(plan, static_cast<std::int64_t>(a.size()),
                          static_cast<std::int64_t>(b.size()), b_cols));
@@ -648,8 +797,10 @@ void SeaweedEngine::subunit_multiply_batch_into(
     std::span<const std::span<std::int32_t>> outs) {
   MONGE_CHECK(pairs.size() == outs.size());
   if (!pairs.empty()) {
-    Plan plan{options_.base_case_cutoff, options_.parallel_grain,
-              options_.pool, size_cache_};
+    Plan plan{options_.base_case_cutoff,    options_.parallel_grain,
+              options_.pool,               size_cache_,
+              options_.core_density_cutoff, options_.core_probe_min_n,
+              &rep_counters_};
     solve_batch(
         pairs.size(), plan,
         [this](std::size_t bytes) { return arena_span(bytes); },

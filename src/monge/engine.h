@@ -52,12 +52,27 @@
 //     kernel uses: one engine call per merge level instead of one per
 //     merge).
 //
+// Representation-adaptive dispatch: every entry point routes its recursion
+// nodes through a density probe (see core_density_cutoff below). Nodes
+// whose inputs both have core density (fraction of rows with p[r] != r)
+// at or below the cutoff are cut at boundaries clean for both inputs into
+// independent diagonal blocks — the streaming form of the core-sparse
+// decomposition in src/monge/core_sparse.h — where one-sided-identity
+// blocks are copied verbatim and only interacting blocks recurse densely.
+// Near-identical inputs (tiny cores) therefore cost near the core size
+// instead of n log n, while dense random inputs pay only the early-exit
+// probe. An engine constructed with core_density_cutoff = 0 never probes
+// and is the pure dense differential oracle the adaptive path is fuzzed
+// against. Dispatch never affects results: the product permutation is
+// unique, so every path produces the same bits.
+//
 // An engine instance is NOT thread-safe (it owns one arena); use one
 // engine per thread. default_seaweed_engine() returns a thread-local
 // sequential instance whose arena is reused across calls — this is what
 // the seaweed_multiply_raw / subunit_multiply wrappers use.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -93,7 +108,68 @@ struct SeaweedEngineOptions {
   /// Optional fork-join pool; nullptr runs fully sequential. Borrowed,
   /// never owned: the pool must outlive the engine's calls that use it.
   ThreadPool* pool = nullptr;
+  /// Density-adaptive dispatch knob: recursion nodes of size >=
+  /// core_probe_min_n probe both inputs' core density (fraction of
+  /// non-fixed rows, measured by an early-exit scan that stops as soon as
+  /// the budget is blown). When BOTH densities are <= the cutoff, the node
+  /// is cut at boundaries clean for both inputs into independent diagonal
+  /// blocks: one-sided-identity blocks are copied, only interacting blocks
+  /// recurse densely (src/monge/core_sparse.h documents the decomposition).
+  /// Must be in [0, 1]; 0 disables probing entirely, which makes the
+  /// engine the pure dense differential oracle. Like every knob it never
+  /// affects results — only which path computes them and how fast.
+  double core_density_cutoff = 0.25;
+  /// Smallest recursion node the density probe considers; below it the
+  /// dense recursion is already cheap and probing is pure overhead. Must
+  /// be >= 2; validated at construction.
+  std::int64_t core_probe_min_n = 64;
 };
+
+/// Counters of the engine's representation decisions (the
+/// core_density_cutoff dispatch). Snapshot via
+/// SeaweedEngine::representation_stats(); subtract two snapshots for a
+/// per-call delta. Totals depend only on the inputs and the knobs — never
+/// on scheduling — so they are deterministic across thread counts.
+struct RepresentationStats {
+  /// Probed nodes that stayed dense: core density above the cutoff, or no
+  /// boundary clean for both inputs (the node is one indivisible block).
+  std::int64_t dense_nodes = 0;
+  /// Probed nodes that took the core-sparse block decomposition.
+  std::int64_t core_sparse_nodes = 0;
+  /// Decomposed blocks where both cores interact, solved by the dense
+  /// recursion on shifted copies.
+  std::int64_t blocks_dense = 0;
+  /// Decomposed blocks where one input restricts to the identity, copied
+  /// verbatim (id ⊡ X = X ⊡ id = X).
+  std::int64_t blocks_copied = 0;
+
+  friend bool operator==(const RepresentationStats&,
+                         const RepresentationStats&) = default;
+
+  /// Member-wise difference, for before/after per-call deltas.
+  friend RepresentationStats operator-(const RepresentationStats& x,
+                                       const RepresentationStats& y) {
+    return {x.dense_nodes - y.dense_nodes,
+            x.core_sparse_nodes - y.core_sparse_nodes,
+            x.blocks_dense - y.blocks_dense,
+            x.blocks_copied - y.blocks_copied};
+  }
+};
+
+namespace detail {
+
+/// Lock-free tallies behind SeaweedEngine::representation_stats(): forked
+/// pool workers increment them concurrently, so they are atomics. Relaxed
+/// ordering suffices — the fork-join barrier sequences every increment
+/// before any snapshot the owning thread takes.
+struct SeaweedRepCounters {
+  std::atomic<std::int64_t> dense_nodes{0};
+  std::atomic<std::int64_t> core_sparse_nodes{0};
+  std::atomic<std::int64_t> blocks_dense{0};
+  std::atomic<std::int64_t> blocks_copied{0};
+};
+
+}  // namespace detail
 
 /// Borrowed view of a raw row->col index array. Full permutations for the
 /// multiply entry points; the subunit entry points additionally allow kNone
@@ -256,6 +332,14 @@ class SeaweedEngine {
   /// @return the lifetime completed batched-subunit call count.
   std::int64_t subunit_batch_calls() const { return subunit_batch_calls_; }
 
+  /// Snapshot of the representation-decision counters, accumulated over
+  /// the engine's lifetime (monotone — subtract two snapshots for the
+  /// delta of one call; RepresentationStats::operator- does exactly that).
+  /// Deterministic for a given input sequence and knob set.
+  ///
+  /// @return the current counter values.
+  RepresentationStats representation_stats() const;
+
   /// Current arena capacity in bytes (grows monotonically; for tests and
   /// benchmarks).
   ///
@@ -277,6 +361,10 @@ class SeaweedEngine {
   SeaweedEngineOptions options_;
   std::vector<std::byte> buffer_;
   std::int64_t subunit_batch_calls_ = 0;
+  /// Representation-decision tallies; mutable because counting decisions
+  /// does not change observable products, and incremented from forked
+  /// workers during a call (hence atomics — see detail::SeaweedRepCounters).
+  mutable detail::SeaweedRepCounters rep_counters_;
   /// Per-size arena budgets, memoized across calls (options are fixed at
   /// construction, so entries never go stale). Mutated only by the owning
   /// thread; forked workers read it through a const Plan.

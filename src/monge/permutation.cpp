@@ -101,6 +101,20 @@ std::int64_t Perm::point_count() const {
   return k;
 }
 
+std::int64_t Perm::core_size() const {
+  std::int64_t core = 0;
+  for (std::int64_t r = 0; r < rows(); ++r) {
+    core += row_to_col_[static_cast<std::size_t>(r)] != r;
+  }
+  return core;
+}
+
+double Perm::core_density() const {
+  return rows() == 0 ? 0.0
+                     : static_cast<double>(core_size()) /
+                           static_cast<double>(rows());
+}
+
 bool Perm::is_full_permutation() const {
   if (rows() != cols()) return false;
   std::vector<bool> seen(static_cast<std::size_t>(cols_), false);

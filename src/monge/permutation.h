@@ -59,6 +59,16 @@ class Perm {
 
   /// Number of nonzero entries (O(rows)).
   std::int64_t point_count() const;
+  /// Number of rows that differ from the identity pattern: col_of(r) != r,
+  /// with empty (kNone) rows counting as off-identity. For full
+  /// permutations this is the core size of src/monge/core_sparse.h — the
+  /// quantity SeaweedEngineOptions::core_density_cutoff dispatches on.
+  /// O(rows).
+  std::int64_t core_size() const;
+  /// core_size() / rows(), or 0.0 for an empty matrix. The measurement
+  /// operators feed tools/core_stats traces through to size the engine's
+  /// density cutoff.
+  double core_density() const;
   /// True iff square and every row and column has exactly one point.
   bool is_full_permutation() const;
   /// Points sorted by row.
