@@ -10,6 +10,7 @@
 #include "mpc/dist_vector.h"
 #include "util/check.h"
 #include "util/math.h"
+#include "util/overflow.h"
 
 namespace monge::core {
 
@@ -82,9 +83,11 @@ class TreeIndex {
     for (std::int32_t level = 0; level <= top_; ++level) {
       nodes_per_sub_.push_back(width_top_ / width(level));
     }
-    MONGE_CHECK(static_cast<double>(meta.subs()) * nodes_per_sub_[0] *
-                    (h_ + 2) * coord_mult_ <
-                std::ldexp(1.0, 62));
+    // Exact, overflow-checked: the naive int64 product overflows (UB)
+    // exactly when the guard should reject; see util/overflow.h.
+    MONGE_CHECK(util::product_below(
+        {meta.subs(), nodes_per_sub_[0], h_ + 2, coord_mult_},
+        std::int64_t{1} << 62));
     for (std::int32_t level = 0; level <= top_; ++level) {
       DistVector<std::int64_t> keys(c, pts.size());
       c.run_round([&](MachineCtx& mc) {

@@ -82,6 +82,7 @@ std::vector<IdentityRun> CoreSparsePerm::identity_runs() const {
   return runs;
 }
 
+// monge-lint: hot
 std::int64_t core_size_of(std::span<const std::int32_t> p) {
   std::int64_t core = 0;
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(p.size()); ++i) {
@@ -90,6 +91,7 @@ std::int64_t core_size_of(std::span<const std::int32_t> p) {
   return core;
 }
 
+// monge-lint: hot
 bool core_exceeds(std::span<const std::int32_t> p, std::int64_t limit) {
   if (limit < 0) return true;  // core size >= 0 > limit for every input
   std::int64_t core = 0;

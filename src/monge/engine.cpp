@@ -156,6 +156,7 @@ struct Plan {
 // ---------------------------------------------------------------------------
 
 /// dist(i, j) = #points with row >= i and col < j, row-major with stride w.
+// monge-lint: hot
 void fill_dist(std::span<const std::int32_t> p, std::span<std::int32_t> dist,
                std::int64_t w) {
   const std::int64_t n = w - 1;
@@ -175,6 +176,7 @@ void fill_dist(std::span<const std::int32_t> p, std::span<std::int32_t> dist,
   }
 }
 
+// monge-lint: hot
 void base_case(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
                std::span<std::int32_t> out, Arena& arena) {
   const auto n = static_cast<std::int64_t>(a.size());
@@ -232,6 +234,7 @@ void solve_adaptive(std::span<const std::int32_t> a,
 /// reads of `a` happen in the split phase, all writes to `out` in the
 /// combine) — the recursive calls exploit this by writing each child's
 /// result over that child's input, so no separate result buffers exist.
+// monge-lint: hot
 void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
              std::span<std::int32_t> out, Arena& arena, const Plan& plan) {
   const auto n = static_cast<std::int64_t>(a.size());
@@ -367,6 +370,7 @@ void mul_rec(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
 /// (the mx/fixed scan, the shifted copies) happens before any write to
 /// out[j <= i], and indices past i are untouched until the cursor gets
 /// there.
+// monge-lint: hot
 bool core_block_solve(std::span<const std::int32_t> a,
                       std::span<const std::int32_t> b,
                       std::span<std::int32_t> out, Arena& arena,
@@ -428,6 +432,7 @@ bool core_block_solve(std::span<const std::int32_t> a,
   return true;
 }
 
+// monge-lint: hot
 void solve_adaptive(std::span<const std::int32_t> a,
                     std::span<const std::int32_t> b,
                     std::span<std::int32_t> out, Arena& arena,
@@ -563,6 +568,7 @@ std::size_t subunit_node_bytes(Plan& plan, std::int64_t ra, std::int64_t n2,
   return persistent + std::max(core, compact_scratch);
 }
 
+// monge-lint: hot
 void subunit_solve(PermView a, PermView b, std::int64_t b_cols,
                    std::span<std::int32_t> out, Arena& arena,
                    const Plan& plan) {

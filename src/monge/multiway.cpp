@@ -258,7 +258,6 @@ Perm multiway_combine_seq(const ColoredPointSet& s, std::int64_t box_g,
   MONGE_CHECK_MSG(s.is_full_union(),
                   "multiway combine requires a full colored union");
   const std::int64_t n = s.n();
-  const std::int32_t h = s.num_colors();
   const std::int64_t g = std::clamp<std::int64_t>(box_g, 1, n);
   const std::int64_t nb = ceil_div(n, g);
 

@@ -97,6 +97,7 @@ std::vector<std::int32_t> steady_ant_combine_raw(
   return out;
 }
 
+// monge-lint: hot
 void steady_ant_packed_scalar(std::span<const std::int32_t> row_pk,
                               std::span<std::int32_t> col_pk,
                               std::span<std::int32_t> t,

@@ -166,6 +166,7 @@ SteadyAntIsa steady_ant_active_isa() {
   return isa;
 }
 
+// monge-lint: hot
 void steady_ant_packed_into(SteadyAntIsa isa,
                             std::span<const std::int32_t> row_pk,
                             std::span<std::int32_t> col_pk,
@@ -210,6 +211,7 @@ void steady_ant_packed_into(SteadyAntIsa isa,
                              << steady_ant_isa_name(isa));
 }
 
+// monge-lint: hot
 void steady_ant_packed_into(std::span<const std::int32_t> row_pk,
                             std::span<std::int32_t> col_pk,
                             std::span<std::int32_t> t,

@@ -65,6 +65,7 @@ struct Avx2Ops {
 
 bool steady_ant_avx2_compiled() { return true; }
 
+// monge-lint: hot
 void steady_ant_packed_avx2(std::span<const std::int32_t> row_pk,
                             std::span<std::int32_t> col_pk,
                             std::span<std::int32_t> t,

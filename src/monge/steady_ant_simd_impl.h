@@ -65,6 +65,7 @@ void steady_ant_packed_avx2(std::span<const std::int32_t> row_pk,
 // out[r] = c by the walk; rewriting the same value when the color is 1 is
 // idempotent, and rows whose point fails the color test keep the walk's
 // value untouched. This is exactly the scalar pass's final state.
+// monge-lint: hot
 template <typename Ops>
 void combine_blocked(std::span<const std::int32_t> row_pk,
                      std::span<std::int32_t> col_pk,

@@ -56,7 +56,11 @@ std::vector<T> unpack_words(std::span<const std::int64_t> words) {
   }
   std::vector<T> items(words.size() / wpe);
   for (std::size_t i = 0; i < items.size(); ++i) {
-    std::memcpy(&items[i], words.data() + i * wpe, sizeof(T));
+    // The static_assert above makes the memcpy well-defined even when T is
+    // "non-trivial" only through default member initializers; the void* cast
+    // tells -Wclass-memaccess exactly that.
+    std::memcpy(static_cast<void*>(&items[i]), words.data() + i * wpe,
+                sizeof(T));
   }
   return items;
 }

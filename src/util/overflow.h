@@ -1,0 +1,49 @@
+#ifndef MONGE_UTIL_OVERFLOW_H_
+#define MONGE_UTIL_OVERFLOW_H_
+
+#include <cstdint>
+#include <initializer_list>
+
+/// Exact overflow-aware integer arithmetic for capacity guards.
+///
+/// Motivation (found by the static-analysis baseline pass): the TreeIndex
+/// packed-key guard in src/core/mpc_multiply.cpp used to evaluate
+/// `subs * nodes * (h + 2) * coord_mult < 2^62` directly in int64. The
+/// product overflows — undefined behavior — precisely in the regime the
+/// guard exists to reject, so the check could "pass" on wrapped garbage.
+/// A double-precision rewrite avoids the UB but loses exactness near 2^62
+/// (1024-ulp spacing). These helpers keep the guard exact at any magnitude.
+
+namespace monge::util {
+
+/// @return true and set *out = a * b if the product of two non-negative
+/// int64 values is representable; false (leaving *out unspecified) on
+/// overflow. Division-based, so it is exact and portable — no dependence
+/// on compiler builtins or wider integer types.
+inline bool checked_mul_nonneg(std::int64_t a, std::int64_t b,
+                               std::int64_t* out) {
+  if (a == 0 || b == 0) {
+    *out = 0;
+    return true;
+  }
+  if (a > INT64_MAX / b) return false;
+  *out = a * b;
+  return true;
+}
+
+/// @return true iff the product of the non-negative factors is
+/// representable in int64 AND strictly below `bound`. Overflow counts as
+/// "not below": a guard written as `product_below({...}, limit)` fails
+/// closed instead of wrapping.
+inline bool product_below(std::initializer_list<std::int64_t> factors,
+                          std::int64_t bound) {
+  std::int64_t acc = 1;
+  for (const std::int64_t f : factors) {
+    if (!checked_mul_nonneg(acc, f, &acc)) return false;
+  }
+  return acc < bound;
+}
+
+}  // namespace monge::util
+
+#endif  // MONGE_UTIL_OVERFLOW_H_

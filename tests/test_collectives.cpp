@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 
 #include "mpc/cluster.h"
 #include "mpc/dist_vector.h"
@@ -166,10 +167,17 @@ INSTANTIATE_TEST_SUITE_P(
                       // More machines than elements and tiny inputs.
                       SortCase{8, 5, 1 << 22, 9}, SortCase{4, 0, 1 << 22, 10},
                       SortCase{5, 4, 1 << 22, 11}),
-    [](const auto& info) {
-      return "m" + std::to_string(info.param.m) + "_n" +
-             std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.space);
+    [](const auto& tpi) {
+      // Appends, not an operator+ chain: the chain trips a gcc-12
+      // -Wrestrict false positive (PR105651) once inlined at -O3.
+      std::string name;
+      name += "m";
+      name += std::to_string(tpi.param.m);
+      name += "_n";
+      name += std::to_string(tpi.param.n);
+      name += "_s";
+      name += std::to_string(tpi.param.space);
+      return name;
     });
 
 TEST(Sort, HandlesDuplicateKeys) {

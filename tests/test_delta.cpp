@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "monge/distribution.h"
 #include "testing.h"
 #include "util/rng.h"
@@ -115,10 +117,17 @@ INSTANTIATE_TEST_SUITE_P(
                       SplitCase{32, 4, 9}, SplitCase{32, 8, 10},
                       SplitCase{33, 7, 11}, SplitCase{40, 6, 12},
                       SplitCase{48, 16, 13}, SplitCase{64, 8, 14}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_h" +
-             std::to_string(info.param.h) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& tpi) {
+      // Appends, not an operator+ chain: the chain trips a gcc-12
+      // -Wrestrict false positive (PR105651) once inlined at -O3.
+      std::string name;
+      name += "n";
+      name += std::to_string(tpi.param.n);
+      name += "_h";
+      name += std::to_string(tpi.param.h);
+      name += "_s";
+      name += std::to_string(tpi.param.seed);
+      return name;
     });
 
 TEST(ColoredPointSet, FullUnionDetection) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/mpc_subperm.h"
 #include "monge/distribution.h"
 #include "monge/seaweed.h"
@@ -67,12 +69,21 @@ INSTANTIATE_TEST_SUITE_P(
         MulCase{100, 7, 3, 3, 13, 9}, MulCase{97, 5, 4, 4, 10, 10},
         // Bigger stress.
         MulCase{256, 16, 4, 4, 32, 11}, MulCase{512, 16, 8, 8, 32, 12}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_m" +
-             std::to_string(info.param.m) + "_h" +
-             std::to_string(info.param.h) + "_f" +
-             std::to_string(info.param.fanout) + "_g" +
-             std::to_string(info.param.g);
+    [](const auto& tpi) {
+      // Appends, not an operator+ chain: the chain trips a gcc-12
+      // -Wrestrict false positive (PR105651) once inlined at -O3.
+      std::string name;
+      name += "n";
+      name += std::to_string(tpi.param.n);
+      name += "_m";
+      name += std::to_string(tpi.param.m);
+      name += "_h";
+      name += std::to_string(tpi.param.h);
+      name += "_f";
+      name += std::to_string(tpi.param.fanout);
+      name += "_g";
+      name += std::to_string(tpi.param.g);
+      return name;
     });
 
 TEST(MpcMultiply, DefaultScheduleOnFullyScalableCluster) {
@@ -258,11 +269,19 @@ INSTANTIATE_TEST_SUITE_P(
                       SubCase{32, 32, 32, 32, 32, 3},  // full perms
                       SubCase{16, 40, 12, 0, 5, 4},    // empty A
                       SubCase{33, 17, 21, 11, 13, 5}),
-    [](const auto& info) {
-      return "r" + std::to_string(info.param.ra) + "m" +
-             std::to_string(info.param.n2) + "c" +
-             std::to_string(info.param.cb) + "s" +
-             std::to_string(info.param.seed);
+    [](const auto& tpi) {
+      // Appends, not an operator+ chain: the chain trips a gcc-12
+      // -Wrestrict false positive (PR105651) once inlined at -O3.
+      std::string name;
+      name += "r";
+      name += std::to_string(tpi.param.ra);
+      name += "m";
+      name += std::to_string(tpi.param.n2);
+      name += "c";
+      name += std::to_string(tpi.param.cb);
+      name += "s";
+      name += std::to_string(tpi.param.seed);
+      return name;
     });
 
 TEST(MpcSubunit, BatchMixedShapes) {

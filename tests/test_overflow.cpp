@@ -1,0 +1,87 @@
+// Pinning regression tests for util/overflow.h.
+//
+// Background: the static-analysis baseline pass (-Wconversion audit of the
+// monge/core targets) flagged the TreeIndex packed-key guard in
+// src/core/mpc_multiply.cpp. It computed
+//     subs * nodes * (h + 2) * coord_mult < 2^62
+// directly in int64: the left-hand side overflows — undefined behavior —
+// precisely in the oversized regime the guard exists to reject, so the
+// check could accept wrapped (even negative) garbage. The guard now goes
+// through util::product_below, which fails closed on overflow. These tests
+// pin that behavior, including the exact wrap-to-small case the original
+// code got wrong.
+#include "util/overflow.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace monge::util {
+namespace {
+
+TEST(Overflow, CheckedMulBasics) {
+  std::int64_t out = -1;
+  EXPECT_TRUE(checked_mul_nonneg(0, INT64_MAX, &out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(checked_mul_nonneg(INT64_MAX, 0, &out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(checked_mul_nonneg(1, INT64_MAX, &out));
+  EXPECT_EQ(out, INT64_MAX);
+  EXPECT_TRUE(checked_mul_nonneg(std::int64_t{1} << 31, std::int64_t{1} << 31,
+                                 &out));
+  EXPECT_EQ(out, std::int64_t{1} << 62);
+}
+
+TEST(Overflow, CheckedMulDetectsOverflow) {
+  std::int64_t out = 0;
+  EXPECT_FALSE(checked_mul_nonneg(std::int64_t{1} << 32, std::int64_t{1} << 32,
+                                  &out));
+  EXPECT_FALSE(checked_mul_nonneg(INT64_MAX, 2, &out));
+  EXPECT_FALSE(checked_mul_nonneg(INT64_MAX, INT64_MAX, &out));
+  // Boundary: (2^31) * (2^31 + 1) overflows nothing; largest exact cases
+  // right at the edge stay representable.
+  EXPECT_TRUE(checked_mul_nonneg(INT64_MAX / 3, 3, &out));
+  EXPECT_EQ(out, (INT64_MAX / 3) * 3);
+  EXPECT_FALSE(checked_mul_nonneg(INT64_MAX / 3 + 1, 3, &out));
+}
+
+TEST(Overflow, ProductBelowExactAtBound) {
+  const std::int64_t bound = std::int64_t{1} << 62;
+  // Strictly below.
+  EXPECT_TRUE(product_below({(std::int64_t{1} << 62) - 1}, bound));
+  // Equal is not below.
+  EXPECT_FALSE(product_below({std::int64_t{1} << 31, std::int64_t{1} << 31},
+                             bound));
+  // One above.
+  EXPECT_FALSE(product_below({(std::int64_t{1} << 61) + 1, 2}, bound));
+  // A double-based comparison cannot distinguish 2^62 - 1 from 2^62 (ulp
+  // spacing at that magnitude is 1024); the exact path must.
+  EXPECT_TRUE(product_below({2, (std::int64_t{1} << 61) - 1}, bound));
+}
+
+TEST(Overflow, ProductBelowFailsClosedOnWrap) {
+  const std::int64_t bound = std::int64_t{1} << 62;
+  // Regression: 2^16 * 2^16 * 2^16 * 2^16 = 2^64 wraps to 0 in int64
+  // arithmetic, so the original inline guard saw "0 < 2^62" and passed.
+  const std::int64_t f = std::int64_t{1} << 16;
+  EXPECT_FALSE(product_below({f, f, f, f}, bound));
+  // Wrap-to-negative variant: 2^63 (mod 2^64) is INT64_MIN < bound.
+  EXPECT_FALSE(product_below({std::int64_t{1} << 31, std::int64_t{1} << 32},
+                             bound));
+  // Representative real-shape magnitudes: subs, nodes, h + 2, coord_mult.
+  EXPECT_TRUE(product_below({64, 1 << 20, 10, (1 << 20) + 2}, bound));
+  EXPECT_FALSE(product_below({std::int64_t{1} << 20, std::int64_t{1} << 20,
+                              std::int64_t{1} << 20, std::int64_t{1} << 20},
+                             bound));
+}
+
+TEST(Overflow, ProductBelowEmptyAndZero) {
+  // Empty product is 1.
+  EXPECT_TRUE(product_below({}, 2));
+  EXPECT_FALSE(product_below({}, 1));
+  // Any zero factor collapses the product regardless of the rest.
+  EXPECT_TRUE(product_below({0, INT64_MAX, INT64_MAX}, 1));
+}
+
+}  // namespace
+}  // namespace monge::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "monge/distribution.h"
 #include "monge/engine.h"
 #include "monge/seaweed.h"
@@ -116,12 +118,21 @@ INSTANTIATE_TEST_SUITE_P(
                       SubCase{5, 40, 6, 5, 6, 9},   // tall middle dimension
                       SubCase{40, 5, 40, 3, 2, 10}  // tiny middle dimension
                       ),
-    [](const auto& info) {
-      return "r" + std::to_string(info.param.ra) + "m" +
-             std::to_string(info.param.n2) + "c" +
-             std::to_string(info.param.cb) + "ka" +
-             std::to_string(info.param.ka) + "kb" +
-             std::to_string(info.param.kb);
+    [](const auto& tpi) {
+      // Appends, not an operator+ chain: the chain trips a gcc-12
+      // -Wrestrict false positive (PR105651) once inlined at -O3.
+      std::string name;
+      name += "r";
+      name += std::to_string(tpi.param.ra);
+      name += "m";
+      name += std::to_string(tpi.param.n2);
+      name += "c";
+      name += std::to_string(tpi.param.cb);
+      name += "ka";
+      name += std::to_string(tpi.param.ka);
+      name += "kb";
+      name += std::to_string(tpi.param.kb);
+      return name;
     });
 
 TEST(SubPermBasics, FullPermutationsReduceToSeaweed) {

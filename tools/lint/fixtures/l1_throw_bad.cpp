@@ -1,0 +1,25 @@
+// L1 negative fixture: throws outside the monge::Error taxonomy must fire.
+#include <stdexcept>
+#include <string>
+
+namespace monge {
+
+void bad_runtime(int n) {
+  if (n < 0) throw std::runtime_error("negative");  // monge-lint-expect: L1
+}
+
+void bad_logic(int n) {
+  if (n > 9) throw std::logic_error("too big");  // monge-lint-expect: L1
+}
+
+struct HomegrownError {};
+
+void bad_homegrown() {
+  throw HomegrownError{};  // monge-lint-expect: L1
+}
+
+void bad_literal() {
+  throw 42;  // monge-lint-expect: L1
+}
+
+}  // namespace monge

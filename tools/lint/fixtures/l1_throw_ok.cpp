@@ -1,0 +1,28 @@
+// L1 positive fixture: every throw is a taxonomy type (or a rethrow), so
+// the rule must stay silent.
+#include <string>
+
+namespace monge {
+
+struct Error {};
+struct InvalidRequestError : Error {};
+struct CodecError : Error {};
+
+void validate(int n) {
+  if (n < 0) throw InvalidRequestError{};
+  if (n > 100) throw monge::CodecError{};
+}
+
+void rethrow_current() {
+  try {
+    validate(-1);
+  } catch (...) {
+    throw;  // bare rethrow is always fine — the original was checked
+  }
+}
+
+// The word throw in a comment or a string must not fire either:
+// "throw std::runtime_error" is what we are preventing.
+const char* doc() { return "never throw std::logic_error here"; }
+
+}  // namespace monge

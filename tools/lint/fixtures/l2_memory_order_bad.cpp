@@ -1,0 +1,19 @@
+// L2 negative fixture: implicit seq_cst accesses must fire.
+#include <atomic>
+
+namespace monge {
+
+std::atomic<long> counter{0};
+std::atomic<bool> flag{false};
+
+long bump_implicit() { return counter.fetch_add(1); }  // monge-lint-expect: L2
+
+void store_implicit() { flag.store(true); }  // monge-lint-expect: L2
+
+bool load_implicit() { return flag.load(); }  // monge-lint-expect: L2
+
+long increment_operator() { return counter++; }  // monge-lint-expect: L2
+
+void compound_assign() { counter += 4; }  // monge-lint-expect: L2
+
+}  // namespace monge

@@ -1,0 +1,38 @@
+// L2 positive fixture: every atomic access names its memory order, and
+// look-alike member calls on non-atomic types are not confused for atomics.
+#include <atomic>
+#include <vector>
+
+namespace monge {
+
+std::atomic<long> counter{0};
+std::atomic<bool> flag{false};
+
+long bump() { return counter.fetch_add(1, std::memory_order_relaxed); }
+
+void publish() { flag.store(true, std::memory_order_release); }
+
+bool consume() { return flag.load(std::memory_order_acquire); }
+
+bool swap_in(long want) {
+  long expected = 0;
+  return counter.compare_exchange_strong(expected, want,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+}
+
+// Non-atomic receivers with atomic-looking member names stay silent.
+struct Table {
+  void load(int) {}
+  void store(int) {}
+  void clear() {}
+};
+
+void not_atomics(std::vector<int>& v, Table& t) {
+  t.load(1);
+  t.store(2);
+  t.clear();
+  v.clear();
+}
+
+}  // namespace monge

@@ -1,0 +1,22 @@
+// L3 negative fixture: allocating constructs inside a hot-annotated
+// function must fire — one finding per construct.
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace monge {
+
+// monge-lint: hot
+void hot_but_allocating(std::span<std::int32_t> out) {
+  std::vector<std::int32_t> tmp(out.size());  // monge-lint-expect: L3
+  tmp.push_back(7);                           // monge-lint-expect: L3
+  auto owned = std::make_unique<int>(5);      // monge-lint-expect: L3
+  std::string label("x");                     // monge-lint-expect: L3
+  label = std::to_string(out.size());         // monge-lint-expect: L3
+  (void)owned;
+  (void)label;
+}
+
+}  // namespace monge

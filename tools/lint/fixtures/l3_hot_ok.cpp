@@ -1,0 +1,29 @@
+// L3 positive fixture: an annotated hot function that only works in-place
+// over spans / arena carves stays silent, and allocation OUTSIDE hot
+// functions is none of this rule's business.
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace monge {
+
+struct Arena {
+  std::span<std::int32_t> alloc(std::int64_t) { return {}; }
+};
+
+// monge-lint: hot
+void combine_in_place(std::span<std::int32_t> out, Arena& arena) {
+  auto scratch = arena.alloc(static_cast<std::int64_t>(out.size()));
+  std::copy(out.begin(), out.end(), scratch.begin());
+  for (auto& v : out) v += 1;
+}
+
+// Unannotated functions may allocate freely.
+std::vector<std::int32_t> cold_setup(std::int64_t n) {
+  std::vector<std::int32_t> v;
+  v.resize(static_cast<std::size_t>(n));
+  return v;
+}
+
+}  // namespace monge

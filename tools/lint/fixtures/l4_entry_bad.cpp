@@ -1,0 +1,31 @@
+// monge-lint-expect: L4  (configured entry point `gone` has no definition)
+// L4 negative fixture: an unchecked entry point fires, a wrapper delegating
+// to an UNchecked entry point fires too, and a configured name with no
+// definition anchors a finding at line 1. Self-test config:
+// monge-lint-l4: class=Engine entries=mul,mul_into,gone checkers=check_limit
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace monge {
+
+struct Engine {
+  void mul_into(std::span<const std::int32_t> a, std::span<std::int32_t> out);
+  std::vector<std::int32_t> mul(std::span<const std::int32_t> a);
+};
+
+// No size validation anywhere on this path.
+void Engine::mul_into(std::span<const std::int32_t> a,  // monge-lint-expect: L4
+                      std::span<std::int32_t> out) {
+  (void)a;
+  (void)out;
+}
+
+// Delegates, but to an entry point that never checks — still unguarded.
+std::vector<std::int32_t> Engine::mul(std::span<const std::int32_t> a) {  // monge-lint-expect: L4
+  std::vector<std::int32_t> out(a.size());
+  mul_into(a, out);
+  return out;
+}
+
+}  // namespace monge

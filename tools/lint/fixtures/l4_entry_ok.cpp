@@ -1,0 +1,43 @@
+// L4 positive fixture: every configured entry point validates the size
+// limit, either directly through a checker or by delegating to a checked
+// entry point. Self-test config:
+// monge-lint-l4: class=Engine entries=mul,mul_into,mul_raw checkers=check_limit,kEngineMaxN
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace monge {
+
+inline constexpr std::int64_t kEngineMaxN = 1 << 30;
+
+struct Engine {
+  void mul_into(std::span<const std::int32_t> a, std::span<std::int32_t> out);
+  std::vector<std::int32_t> mul_raw(std::span<const std::int32_t> a);
+  std::vector<std::int32_t> mul(std::span<const std::int32_t> a);
+};
+
+void check_limit(std::size_t size);
+
+// Direct check through the named helper.
+void Engine::mul_into(std::span<const std::int32_t> a,
+                      std::span<std::int32_t> out) {
+  check_limit(a.size());
+  (void)out;
+}
+
+// Direct check against the named constant.
+std::vector<std::int32_t> Engine::mul_raw(std::span<const std::int32_t> a) {
+  if (static_cast<std::int64_t>(a.size()) > kEngineMaxN) return {};
+  std::vector<std::int32_t> out(a.size());
+  mul_into(a, out);
+  return out;
+}
+
+// Checked by delegation: calls mul_into, which checks.
+std::vector<std::int32_t> Engine::mul(std::span<const std::int32_t> a) {
+  std::vector<std::int32_t> out(a.size());
+  mul_into(a, out);
+  return out;
+}
+
+}  // namespace monge

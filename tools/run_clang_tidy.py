@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver for the monge repository.
+
+Runs the repo's curated .clang-tidy configuration over the translation
+units recorded in compile_commands.json, in parallel, and exits non-zero
+if any diagnostic is emitted (all warnings are promoted to errors, so a
+"clean" run is genuinely diagnostic-free).
+
+CI is the gating consumer: the static-analysis job holds src/ warning
+clean against a pinned clang-tidy. Locally the script does the same
+thing with whatever clang-tidy is installed:
+
+    cmake -B build -S .                # exports compile_commands.json
+    python3 tools/run_clang_tidy.py -p build
+
+Useful modes:
+    python3 tools/run_clang_tidy.py -p build src/monge/engine.cpp
+        Lint specific files only.
+    python3 tools/run_clang_tidy.py -p build --diff origin/main
+        Lint only files changed relative to a git ref — fast
+        pre-commit loop.
+    CLANG_TIDY=clang-tidy-18 python3 tools/run_clang_tidy.py -p build
+        Pin the binary explicitly (otherwise newest found wins).
+
+No third-party Python dependencies; stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Newest first; CI pins one of these via apt, developers get whatever
+# their distro ships. $CLANG_TIDY overrides the whole chain.
+CANDIDATE_BINARIES = [
+    "clang-tidy-19",
+    "clang-tidy-18",
+    "clang-tidy-17",
+    "clang-tidy-16",
+    "clang-tidy-15",
+    "clang-tidy-14",
+    "clang-tidy",
+]
+
+
+def find_clang_tidy() -> str | None:
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        found = shutil.which(env)
+        if not found:
+            sys.stderr.write(f"error: $CLANG_TIDY={env!r} is not executable\n")
+            sys.exit(2)
+        return found
+    for name in CANDIDATE_BINARIES:
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def load_compile_commands(build_dir: Path) -> list[dict]:
+    db = build_dir / "compile_commands.json"
+    if not db.is_file():
+        sys.stderr.write(
+            f"error: {db} not found.\n"
+            "Configure first (the top-level CMakeLists.txt sets "
+            "CMAKE_EXPORT_COMPILE_COMMANDS):\n"
+            f"    cmake -B {build_dir} -S {REPO_ROOT}\n"
+        )
+        sys.exit(2)
+    with db.open() as f:
+        return json.load(f)
+
+
+def changed_files(ref: str) -> set[Path]:
+    out = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    return {(REPO_ROOT / line).resolve() for line in out.splitlines() if line}
+
+
+def select_translation_units(
+    entries: list[dict],
+    explicit: list[str],
+    diff_ref: str | None,
+    include_all: bool,
+) -> list[Path]:
+    """Pick TUs to lint. Default: gate scope = files under src/."""
+    tus = []
+    seen = set()
+    for entry in entries:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = (Path(entry["directory"]) / path).resolve()
+        if path in seen:
+            continue
+        seen.add(path)
+        # Generated TUs (header gate stubs) are compiled with warnings
+        # already; tidy on them would double-report every header.
+        if "header_gate" in path.parts:
+            continue
+        tus.append(path)
+
+    if explicit:
+        wanted = {(REPO_ROOT / p).resolve() for p in explicit}
+        missing = wanted - set(tus)
+        for path in sorted(missing):
+            sys.stderr.write(f"warning: {path} is not in the compile database\n")
+        return sorted(p for p in tus if p in wanted)
+
+    if diff_ref is not None:
+        touched = changed_files(diff_ref)
+        return sorted(p for p in tus if p in touched)
+
+    if include_all:
+        return sorted(tus)
+    src = (REPO_ROOT / "src").resolve()
+    return sorted(p for p in tus if src in p.parents)
+
+
+def run_one(binary: str, build_dir: Path, path: Path) -> tuple[Path, int, str]:
+    proc = subprocess.run(
+        [
+            binary,
+            "-p",
+            str(build_dir),
+            "--quiet",
+            "--warnings-as-errors=*",
+            str(path),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    # clang-tidy prints a suppression summary on stderr even on clean
+    # runs; keep stderr only when the run actually failed.
+    output = proc.stdout
+    if proc.returncode != 0 and proc.stderr:
+        output += proc.stderr
+    return path, proc.returncode, output
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="specific files to lint (default: every TU under src/)",
+    )
+    parser.add_argument(
+        "-p",
+        "--build-dir",
+        default="build",
+        help="build directory containing compile_commands.json",
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="GITREF",
+        help="lint only files changed relative to GITREF",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="lint every TU in the compile database, not just src/",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=max(1, multiprocessing.cpu_count() - 1),
+        help="parallel clang-tidy processes (default: cores - 1)",
+    )
+    args = parser.parse_args()
+
+    binary = find_clang_tidy()
+    if binary is None:
+        sys.stderr.write(
+            "error: no clang-tidy binary found.\n"
+            "Install one (e.g. `apt install clang-tidy`) or point "
+            "$CLANG_TIDY at it. CI runs a pinned version; see "
+            ".github/workflows/ci.yml.\n"
+        )
+        return 2
+
+    build_dir = Path(args.build_dir).resolve()
+    entries = load_compile_commands(build_dir)
+    tus = select_translation_units(entries, args.files, args.diff, args.all)
+    if not tus:
+        print("run_clang_tidy: nothing to lint")
+        return 0
+
+    version = subprocess.run(
+        [binary, "--version"], capture_output=True, text=True
+    ).stdout.strip().splitlines()
+    print(f"run_clang_tidy: {binary} ({version[-1] if version else '?'})")
+    print(f"run_clang_tidy: {len(tus)} translation units, -j{args.jobs}")
+
+    failures = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, output in pool.map(
+            lambda p: run_one(binary, build_dir, p), tus
+        ):
+            rel = path.relative_to(REPO_ROOT) if REPO_ROOT in path.parents else path
+            if code != 0:
+                failures += 1
+                print(f"FAIL {rel}")
+                sys.stdout.write(output)
+            elif output.strip():
+                # Shouldn't happen with --warnings-as-errors=*, but don't
+                # swallow diagnostics if a tidy version routes differently.
+                print(f"note {rel}")
+                sys.stdout.write(output)
+
+    if failures:
+        print(f"run_clang_tidy: {failures}/{len(tus)} files have diagnostics")
+        return 1
+    print(f"run_clang_tidy: clean ({len(tus)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
